@@ -1,0 +1,186 @@
+"""E7 — Head-to-head against the related-work baselines (Section 2).
+
+Measures clean-start stabilization time for:
+
+* ``ElectLeader_r`` (ours, r = 4),
+* Cai–Izumi–Wada (n states, ``O(n²)`` parallel time),
+* the Burman-style silent SSR (``2^{Θ(n log n)}`` states, ``O(log n)``
+  parallel clean-start time; simplified detection per DESIGN.md §3),
+* pairwise elimination (non-self-stabilizing 2-state calibration).
+
+Shapes to reproduce (the paper's positioning):
+
+* CIW is the slowest by a growing factor (quadratic-plus growth);
+* the name-broadcast baseline and ours are both ``n·polylog`` from clean
+  starts; ours pays a constant-factor premium for full self-stabilization
+  machinery at tiny state cost relative to the name-broadcast approach
+  (state columns from E1);
+* the non-SS calibration protocol sits between, with Θ(n) parallel time.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.theory import fit_power_law
+from repro.baselines.cai_izumi_wada import CaiIzumiWada
+from repro.baselines.nonss_leader import PairwiseElimination
+from repro.baselines.silent_ssr import BurmanStyleSSR
+from repro.core.elect_leader import ElectLeader
+from repro.core.params import BaselineParams, ProtocolParams
+from repro.scheduler.rng import derive_seed
+from repro.sim.trials import run_trials
+
+NS = [16, 32, 64, 96]
+TRIALS = 8
+
+
+def measure_protocol(name: str, n: int) -> dict[str, object]:
+    if name == "elect-leader(r=4)":
+        protocol = ElectLeader(ProtocolParams(n=n, r=4))
+        predicate = protocol.is_safe_configuration
+        check = 1000
+    elif name == "cai-izumi-wada":
+        protocol = CaiIzumiWada(BaselineParams(n=n))
+        predicate = protocol.is_silent_configuration
+        check = 200
+    elif name == "burman-style-ssr":
+        protocol = BurmanStyleSSR(BaselineParams(n=n))
+        predicate = protocol.ranked_and_correct
+        check = 100
+    elif name == "pairwise-elimination":
+        protocol = PairwiseElimination(n)
+        predicate = protocol.is_goal_configuration
+        check = 100
+    else:  # pragma: no cover - defensive
+        raise ValueError(name)
+    summary = run_trials(
+        protocol,
+        predicate,
+        n=n,
+        trials=TRIALS,
+        max_interactions=60_000_000,
+        seed=7000 + n,
+        check_interval=check,
+        label=name,
+    )
+    return {
+        "protocol": name,
+        "n": n,
+        "success": summary.success_rate,
+        "median_interactions": summary.median_interactions,
+        "median_parallel_time": round(summary.median_time, 1),
+    }
+
+
+PROTOCOLS = [
+    "elect-leader(r=4)",
+    "burman-style-ssr",
+    "cai-izumi-wada",
+    "pairwise-elimination",
+]
+
+
+def test_e7_baseline_comparison(benchmark, record_table):
+    def experiment():
+        return [measure_protocol(name, n) for name in PROTOCOLS for n in NS]
+
+    rows = run_once(benchmark, experiment)
+    record_table("E7_baselines", rows, "E7: clean-start stabilization across protocols")
+
+    assert all(row["success"] >= 0.85 for row in rows)
+    by_protocol = {
+        name: sorted((row for row in rows if row["protocol"] == name), key=lambda r: r["n"])
+        for name in PROTOCOLS
+    }
+    # CIW slowest at the largest n; grows super-linearly in parallel time.
+    largest = {name: series[-1] for name, series in by_protocol.items()}
+    assert (
+        largest["cai-izumi-wada"]["median_interactions"]
+        > largest["elect-leader(r=4)"]["median_interactions"]
+    )
+    ciw_fit = fit_power_law(
+        [float(r["n"]) for r in by_protocol["cai-izumi-wada"]],
+        [float(r["median_interactions"]) for r in by_protocol["cai-izumi-wada"]],
+    )
+    ours_fit = fit_power_law(
+        [float(r["n"]) for r in by_protocol["elect-leader(r=4)"]],
+        [float(r["median_interactions"]) for r in by_protocol["elect-leader(r=4)"]],
+    )
+    assert ciw_fit.exponent > ours_fit.exponent  # who wins, and increasingly so
+    # Name-broadcast ranking is the fastest clean-start protocol.
+    assert (
+        largest["burman-style-ssr"]["median_interactions"]
+        < largest["elect-leader(r=4)"]["median_interactions"]
+    )
+
+
+def test_e7b_adversarial_recovery_comparison(benchmark, record_table):
+    """The self-stabilization axis: recovery from scrambled starts.
+
+    Pairwise elimination is omitted — it provably cannot recover (see
+    `test_model_check.py`).  Shape to reproduce: all three self-stabilizing
+    protocols recover in every trial; CIW's recovery grows ~quadratically
+    while ours stays n·polylog; the simplified Burman-style baseline's
+    direct-detection recovery sits between (its real history-tree version
+    would be fast but super-polynomial-state, per E1)."""
+    import statistics
+
+    from repro.adversary.initializers import random_soup
+    from repro.scheduler.rng import make_rng
+
+    ns = [16, 32, 64]
+    trials = 8
+
+    def measure_recovery(name: str, n: int) -> dict[str, object]:
+        times = []
+        successes = 0
+        for trial in range(trials):
+            rng = make_rng(derive_seed(7700 + n, trial))
+            if name == "elect-leader(r=4)":
+                protocol = ElectLeader(ProtocolParams(n=n, r=4))
+                config = random_soup(protocol, rng)
+                predicate = protocol.is_safe_configuration
+                check = 1000
+            elif name == "cai-izumi-wada":
+                protocol = CaiIzumiWada(BaselineParams(n=n))
+                config = protocol.adversarial_configuration(rng)
+                predicate = protocol.is_silent_configuration
+                check = 200
+            else:
+                protocol = BurmanStyleSSR(BaselineParams(n=n))
+                config = protocol.adversarial_configuration(rng)
+                predicate = protocol.ranked_and_correct
+                check = 200
+            from repro.sim.simulation import Simulation
+
+            sim = Simulation(protocol, config=config, seed=derive_seed(7800 + n, trial))
+            result = sim.run_until(
+                predicate, max_interactions=80_000_000, check_interval=check
+            )
+            if result.converged:
+                successes += 1
+                times.append(result.interactions)
+        return {
+            "protocol": name,
+            "n": n,
+            "success": successes / trials,
+            "median_recovery_interactions": statistics.median(times) if times else "-",
+        }
+
+    def experiment():
+        rows = []
+        for name in ("elect-leader(r=4)", "burman-style-ssr", "cai-izumi-wada"):
+            for n in ns:
+                rows.append(measure_recovery(name, n))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    record_table("E7b_recovery_comparison", rows, "E7b: adversarial recovery across protocols")
+
+    assert all(row["success"] >= 0.85 for row in rows)
+    at64 = {row["protocol"]: row for row in rows if row["n"] == 64}
+    assert (
+        float(at64["elect-leader(r=4)"]["median_recovery_interactions"])
+        < float(at64["cai-izumi-wada"]["median_recovery_interactions"])
+    )

@@ -1,0 +1,88 @@
+"""E5 — Collision-detection latency (Lemma E.1(b), Lemmas E.3/E.7).
+
+Isolates ``DetectCollision_r``: plant ``k`` duplicated ranks into an
+otherwise correct ranking with clean DC states, and measure interactions
+until some agent raises ⊤.
+
+Shapes to reproduce:
+
+* detection always succeeds within the ``O((n²/r)·log n)`` envelope;
+* more duplicates → faster detection (Lemma E.3's direct-meeting regime
+  kicks in), with the single-duplicate case — the message-mechanism's
+  raison d'être — still far below the ``Ω(n²)`` direct-meeting cost that
+  motivated the messages in the first place (Section 3.1);
+* larger r → faster detection at fixed n.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import run_once
+
+from repro.analysis.theory import collision_detection_interactions
+from repro.core.detect_collision import DetectCollisionProtocol
+from repro.core.params import ProtocolParams
+from repro.scheduler.rng import derive_seed, make_rng
+from repro.sim.simulation import Simulation
+
+N = 48
+TRIALS = 15
+
+
+def duplicate_config(protocol: DetectCollisionProtocol, duplicates: int, seed: int):
+    """Correct ranking with ``duplicates`` agents overwritten by rank+1."""
+    rng = make_rng(seed)
+    config = [protocol.state_for_rank(rank) for rank in range(1, protocol.n + 1)]
+    victims = rng.sample(range(protocol.n - 1), duplicates)
+    for index in victims:
+        config[index] = protocol.state_for_rank(config[index].rank + 1)
+    return config
+
+
+def measure(n: int, r: int, duplicates: int, seed_base: int) -> dict[str, object]:
+    params = ProtocolParams(n=n, r=r)
+    protocol = DetectCollisionProtocol(params)
+    envelope = int(60 * collision_detection_interactions(n, r))
+    times = []
+    successes = 0
+    for trial in range(TRIALS):
+        config = duplicate_config(protocol, duplicates, derive_seed(seed_base, trial))
+        sim = Simulation(protocol, config=config, seed=derive_seed(seed_base + 1, trial))
+        result = sim.run_until(
+            protocol.error_detected, max_interactions=envelope, check_interval=20
+        )
+        if result.converged:
+            successes += 1
+            times.append(result.interactions)
+    return {
+        "n": n,
+        "r": r,
+        "duplicates": duplicates,
+        "success": successes / TRIALS,
+        "median_interactions": statistics.median(times) if times else float("nan"),
+        "p95_interactions": sorted(times)[int(0.95 * (len(times) - 1))] if times else float("nan"),
+        "predicted_(n^2/r)ln_n": round(collision_detection_interactions(n, r)),
+    }
+
+
+def test_e5_detection_latency(benchmark, record_table):
+    def experiment():
+        rows = []
+        for r in (2, 4, 8):
+            for duplicates in (1, max(2, r), N // 4):
+                rows.append(measure(N, r, duplicates, seed_base=5000 + 100 * r + duplicates))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    record_table("E5_collision_detection", rows, f"E5: time to ⊤ with k duplicate ranks (n={N})")
+
+    assert all(row["success"] == 1.0 for row in rows)
+    # More duplicates detect (weakly) faster at fixed r.
+    for r in (2, 4, 8):
+        sweep = [row for row in rows if row["r"] == r]
+        sweep.sort(key=lambda row: row["duplicates"])
+        assert sweep[0]["median_interactions"] >= sweep[-1]["median_interactions"] * 0.8
+    # Larger r detects faster in the single-duplicate regime.
+    singles = {row["r"]: float(row["median_interactions"]) for row in rows if row["duplicates"] == 1}
+    assert singles[8] < singles[2] * 1.2

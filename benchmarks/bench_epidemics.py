@@ -1,0 +1,100 @@
+"""E8 — Epidemic completion time (Lemma A.2) and interaction concentration
+(Lemma A.1).
+
+Shape to reproduce: two-way epidemics from a single source complete within
+``c_epi·n·ln n`` interactions with ``c_epi < 7`` w.h.p. — the constant the
+whole recovery analysis leans on — and per-agent interaction counts
+concentrate around ``2t/n`` (Lemma A.1's ``[t/(αn), αt/n]`` window).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+from conftest import run_once
+
+from repro.scheduler.rng import derive_seed
+from repro.scheduler.scheduler import RandomScheduler
+from repro.scheduler.rng import make_rng
+from repro.sim.simulation import Simulation
+from repro.substrates.epidemics import EpidemicProtocol
+
+NS = [64, 256, 1024, 4096]
+TRIALS = 12
+
+
+def test_e8_epidemic_completion(benchmark, record_table):
+    def experiment():
+        rows = []
+        protocol = EpidemicProtocol()
+        for n in NS:
+            times = []
+            for trial in range(TRIALS):
+                config = EpidemicProtocol.seeded_configuration(n, sources=1)
+                sim = Simulation(protocol, config=config, seed=derive_seed(8000 + n, trial))
+                result = sim.run_until(
+                    protocol.is_goal_configuration,
+                    max_interactions=int(20 * n * math.log(n)),
+                    check_interval=max(16, n // 8),
+                )
+                assert result.converged
+                times.append(result.interactions)
+            n_log_n = n * math.log(n)
+            rows.append(
+                {
+                    "n": n,
+                    "trials": TRIALS,
+                    "median_interactions": statistics.median(times),
+                    "max_interactions": max(times),
+                    "median_over_n_ln_n": round(statistics.median(times) / n_log_n, 3),
+                    "max_over_n_ln_n": round(max(times) / n_log_n, 3),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    record_table("E8_epidemics", rows, "E8: two-way epidemic completion (Lemma A.2)")
+
+    # Lemma A.2's constant: c_epi < 7 — even the max should clear it.
+    for row in rows:
+        assert float(row["max_over_n_ln_n"]) < 7.0, row
+    # The normalized medians should be flat (n log n is the right law).
+    normalized = [float(row["median_over_n_ln_n"]) for row in rows]
+    assert max(normalized) / min(normalized) < 1.8
+
+
+def test_e8_interaction_concentration(benchmark, record_table):
+    """Lemma A.1: over t = 4 n ln n interactions, every agent's interaction
+    count lies in [t/(αn), αt/n] for α > 7 (we report the empirical α)."""
+
+    def experiment():
+        rows = []
+        for n in (256, 1024):
+            t = int(4 * n * math.log(n))
+            counts = [0] * n
+            scheduler = RandomScheduler(n, make_rng(derive_seed(8800, n)))
+            for _ in range(t):
+                i, j = scheduler.next_pair()
+                counts[i] += 1
+                counts[j] += 1
+            mean = 2 * t / n
+            rows.append(
+                {
+                    "n": n,
+                    "t": t,
+                    "mean_count": round(mean, 1),
+                    "min_count": min(counts),
+                    "max_count": max(counts),
+                    "alpha_low": round(mean / min(counts) / 2, 2),
+                    "alpha_high": round(max(counts) / mean * 2, 2),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    record_table("E8_concentration", rows, "E8b: per-agent interaction concentration (Lemma A.1)")
+    for row in rows:
+        t, n = int(row["t"]), int(row["n"])
+        assert int(row["min_count"]) > t / (7 * n)
+        assert int(row["max_count"]) < 7 * t / n

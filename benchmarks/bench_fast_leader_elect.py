@@ -1,0 +1,69 @@
+"""E12 — ``FastLeaderElect`` (Appendix D.2, Lemma D.10).
+
+Measures interactions until every agent has decided and exactly one agent
+holds the leader bit, from awakening-style clean starts.
+
+Shapes to reproduce: ``O(n log n)`` interactions (``O(log n)`` parallel
+time — near-flat normalized medians) and unique-leader success
+approaching 1 as n grows (failure probability ``O(1/n)`` from identifier
+collisions in ``[n³]``).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+from conftest import run_once
+
+from repro.core.fast_leader_elect import FastLeaderElectProtocol
+from repro.core.params import ProtocolParams
+from repro.scheduler.rng import derive_seed
+from repro.sim.simulation import Simulation
+
+NS = [32, 128, 512, 2048]
+TRIALS = 15
+
+
+def test_e12_fast_leader_elect(benchmark, record_table):
+    def experiment():
+        rows = []
+        for n in NS:
+            protocol = FastLeaderElectProtocol(ProtocolParams(n=n, r=max(1, n // 4)))
+            times = []
+            successes = 0
+            for trial in range(TRIALS):
+                sim = Simulation(protocol, n=n, seed=derive_seed(12_000 + n, trial))
+                result = sim.run_until(
+                    lambda config, p=protocol: p.all_done(config),
+                    max_interactions=int(30 * n * math.log(n)),
+                    check_interval=max(16, n // 8),
+                )
+                assert result.converged, "agents never finished deciding"
+                if protocol.leader_count(result.config) == 1:
+                    successes += 1
+                times.append(result.interactions)
+            n_log_n = n * math.log(n)
+            rows.append(
+                {
+                    "n": n,
+                    "trials": TRIALS,
+                    "unique_leader_rate": round(successes / TRIALS, 3),
+                    "median_interactions": statistics.median(times),
+                    "median_parallel_time": round(statistics.median(times) / n, 1),
+                    "median_over_n_ln_n": round(statistics.median(times) / n_log_n, 3),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    record_table("E12_fast_leader_elect", rows, "E12: FastLeaderElect (Lemma D.10)")
+
+    for row in rows:
+        assert float(row["unique_leader_rate"]) >= 0.9, row
+    normalized = [float(row["median_over_n_ln_n"]) for row in rows]
+    # O(n log n) law: normalized medians flat within a small band.
+    assert max(normalized) / min(normalized) < 2.0
+    # Parallel time grows only logarithmically: ~2x from n=32 to n=2048.
+    parallel = [float(row["median_parallel_time"]) for row in rows]
+    assert parallel[-1] / parallel[0] < math.log(2048) / math.log(32) * 2

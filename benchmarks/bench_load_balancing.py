@@ -1,0 +1,63 @@
+"""E9 — Token load balancing (Lemma E.6 substrate).
+
+From the maximally clumped start (all ``4m`` tokens at one agent),
+measures the interactions until *no agent is empty* — the event
+``DetectCollision_r`` needs so that every group member holds a refreshed
+message — and until the discrepancy drops to O(1).
+
+Shape to reproduce: both milestones within ``O(m log m)`` interactions
+(Theorem 1 of Berenbrink et al., as used in the Lemma E.6 coupling); the
+normalized medians stay flat across m.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+from conftest import run_once
+
+from repro.scheduler.rng import derive_seed, make_rng
+from repro.substrates.load_balancing import LoadBalancingProcess
+
+MS = [16, 32, 64, 128, 256]
+TRIALS = 15
+
+
+def test_e9_load_balancing(benchmark, record_table):
+    def experiment():
+        rows = []
+        for m in MS:
+            cover_times = []
+            balance_times = []
+            for trial in range(TRIALS):
+                rng = make_rng(derive_seed(9000 + m, trial))
+                process = LoadBalancingProcess.clumped(m, 4 * m)
+                covered = process.run_until_covered(rng, max_interactions=200 * m)
+                assert covered is not None
+                cover_times.append(covered)
+                process2 = LoadBalancingProcess.clumped(m, 4 * m)
+                rng2 = make_rng(derive_seed(9500 + m, trial))
+                balanced = process2.run_until_balanced(rng2, max_interactions=400 * m)
+                assert balanced is not None
+                balance_times.append(balanced)
+            m_log_m = m * math.log(m)
+            rows.append(
+                {
+                    "m": m,
+                    "tokens": 4 * m,
+                    "median_cover": statistics.median(cover_times),
+                    "cover_over_m_ln_m": round(statistics.median(cover_times) / m_log_m, 3),
+                    "median_balance": statistics.median(balance_times),
+                    "balance_over_m_ln_m": round(statistics.median(balance_times) / m_log_m, 3),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    record_table("E9_load_balancing", rows, "E9: load balancing coverage & discrepancy (Lemma E.6)")
+
+    cover_norm = [float(row["cover_over_m_ln_m"]) for row in rows]
+    balance_norm = [float(row["balance_over_m_ln_m"]) for row in rows]
+    assert max(cover_norm) / min(cover_norm) < 2.5
+    assert max(balance_norm) / min(balance_norm) < 2.5

@@ -1,0 +1,82 @@
+"""E14 — The loose-stabilization alternative (related-work landscape).
+
+The paper's Section 2 situates ``ElectLeader_r`` against the
+loosely-stabilizing relaxation: far fewer states, but the leader is only
+guaranteed for a finite *holding time*.  This bench measures, for the
+timeout-heartbeat protocol of Sudo et al. (shape), the two defining
+quantities as the timer scale τ grows:
+
+* convergence time from adversarial (including zero-leader) starts —
+  should stay ``O(n log n)``-ish across τ;
+* median holding time of the elected leader — should grow rapidly
+  (super-linearly) with τ while the state count grows only linearly.
+
+Shape to reproduce: the convergence column is flat while the holding
+column explodes — the loose trade-off — alongside a state count that is
+microscopic next to any self-stabilizing protocol (cf. E1).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import run_once
+
+from repro.baselines.loosely_stabilizing import LooselyStabilizingLeaderElection
+from repro.core.params import BaselineParams
+from repro.scheduler.rng import derive_seed, make_rng
+from repro.sim.simulation import Simulation
+
+N = 32
+TRIALS = 10
+HOLD_BUDGET = 2_000_000
+
+
+def measure(tau: float, seed_base: int) -> dict[str, object]:
+    protocol = LooselyStabilizingLeaderElection(BaselineParams(n=N), tau=tau)
+    converge_times = []
+    holding_times = []
+    for trial in range(TRIALS):
+        config = protocol.adversarial_configuration(make_rng(derive_seed(seed_base, trial)))
+        sim = Simulation(protocol, config=config, seed=derive_seed(seed_base + 1, trial))
+        result = sim.run_until(
+            protocol.is_goal_configuration, max_interactions=1_000_000, check_interval=20
+        )
+        assert result.converged
+        converge_times.append(result.interactions)
+        holding_times.append(
+            protocol.holding_time(
+                result.config, make_rng(derive_seed(seed_base + 2, trial)), HOLD_BUDGET
+            )
+        )
+    return {
+        "tau": tau,
+        "timer_max": protocol.timer_max,
+        "states": protocol.state_count(),
+        "median_convergence": statistics.median(converge_times),
+        "median_holding": statistics.median(holding_times),
+        "holding_censored_at": HOLD_BUDGET,
+    }
+
+
+def test_e14_loose_stabilization(benchmark, record_table):
+    def experiment():
+        return [measure(tau, seed_base=14_000 + int(tau * 10)) for tau in (0.25, 1.0, 4.0, 16.0)]
+
+    rows = run_once(benchmark, experiment)
+    record_table(
+        "E14_loose_stabilization",
+        rows,
+        f"E14: loosely-stabilizing timeout protocol (n={N})",
+    )
+
+    holdings = [float(row["median_holding"]) for row in rows]
+    convergences = [float(row["median_convergence"]) for row in rows]
+    states = [int(row["states"]) for row in rows]
+    # Holding time grows much faster than the (linear) state count.
+    assert holdings[-1] > 20 * holdings[0]
+    assert states[-1] < 100 * states[0]
+    # Convergence stays within one order of magnitude across τ.
+    assert max(convergences) < 12 * max(1.0, min(convergences))
+    # The whole state space stays microscopic (loose trade-off's selling point).
+    assert all(s < 10_000 for s in states)

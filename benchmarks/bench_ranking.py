@@ -1,0 +1,69 @@
+"""E10 — ``AssignRanks_r`` in isolation (Lemma D.1).
+
+Measures interactions until every agent is ranked *and* the ranking is
+correct (silence then follows by construction), from dormant starts.
+
+Shapes to reproduce: growth ``Θ((n²/r)·log n)`` in n at fixed r, speedup
+with r at fixed n, and success rate 1 (the w.h.p. claim).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.theory import assign_ranks_interactions, fit_power_law
+from repro.core.assign_ranks import AssignRanksProtocol
+from repro.core.params import ProtocolParams
+from repro.sim.trials import run_trials
+
+TRIALS = 10
+
+
+def measure(n: int, r: int, seed: int) -> dict[str, object]:
+    protocol = AssignRanksProtocol(ProtocolParams(n=n, r=r))
+    summary = run_trials(
+        protocol,
+        protocol.is_goal_configuration,
+        n=n,
+        trials=TRIALS,
+        max_interactions=30_000_000,
+        seed=seed,
+        check_interval=500,
+        label=f"n={n},r={r}",
+    )
+    predicted = assign_ranks_interactions(n, r)
+    return {
+        "n": n,
+        "r": r,
+        "success": summary.success_rate,
+        "median_interactions": summary.median_interactions,
+        "median_parallel_time": round(summary.median_time, 1),
+        "predicted_(n^2/r)ln_n": round(predicted),
+        "ratio": round(summary.median_interactions / predicted, 3),
+    }
+
+
+def test_e10_ranking_vs_n(benchmark, record_table):
+    def experiment():
+        return [measure(n, 4, seed=10_000 + n) for n in (16, 32, 64, 96)]
+
+    rows = run_once(benchmark, experiment)
+    record_table("E10_ranking_vs_n", rows, "E10a: AssignRanks_r vs n (r=4)")
+    assert all(row["success"] >= 0.9 for row in rows)
+    fit = fit_power_law(
+        [float(row["n"]) for row in rows],
+        [float(row["median_interactions"]) for row in rows],
+    )
+    assert 1.2 < fit.exponent < 2.9, fit
+
+
+def test_e10_ranking_vs_r(benchmark, record_table):
+    def experiment():
+        return [measure(48, r, seed=11_000 + r) for r in (1, 2, 4, 8, 16)]
+
+    rows = run_once(benchmark, experiment)
+    record_table("E10_ranking_vs_r", rows, "E10b: AssignRanks_r vs r (n=48)")
+    assert all(row["success"] >= 0.9 for row in rows)
+    medians = [float(row["median_interactions"]) for row in rows]
+    # More deputies assign labels faster.
+    assert medians[0] > medians[-1]

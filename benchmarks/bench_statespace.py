@@ -1,0 +1,94 @@
+"""E1 — State-space / bit-complexity tables (Figures 1-4, Theorem 1.1).
+
+Regenerates the paper's Section 1-2 comparison: the bit complexity of
+``ElectLeader_r`` across the trade-off range against the CIW baseline, the
+simulable Burman-style baseline, and the *quoted* Sublinear-Time-SSR
+bound, plus the full trade-off frontier at one population size.
+
+Shape to reproduce: ours is ``O(r² log n)`` bits — polynomial at every
+``r`` — while the quoted time-optimal comparator is super-polynomial
+(``n^{Θ(log n)}``); at the time-optimal end ours wins by orders of
+magnitude, and at ``r = log² n`` ours is sub-exponential (the paper's
+open-problem resolution).
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import run_once
+
+from repro.analysis.statespace import (
+    comparison_table,
+    elect_leader_bits,
+    theorem_bound_bits,
+    tradeoff_frontier,
+)
+
+
+def test_e1_bit_complexity_table(benchmark, record_table):
+    ns = [16, 64, 256, 1024, 4096, 16384]
+
+    def experiment():
+        return comparison_table(ns)
+
+    rows = run_once(benchmark, experiment)
+    record_table("E1_bit_complexity", rows, "E1: bit complexity (log2 #states) per protocol")
+
+    # Shape assertions (Theorem 1.1 + Section 1 claims):
+    for row in rows:
+        n = int(row["n"])
+        # Time-optimal regime: ours sub-cubic vs quoted super-polynomial.
+        if n >= 64:
+            assert float(row["ours_rmax_bits"]) < float(row["burman_quoted_bits"])
+        # r = 1 regime: polynomially many states (O(log n) bits growth).
+        assert float(row["ours_r1_bits"]) < 40 * math.log2(n) + 200
+    # Sub-exponential at r = log² n (the open-problem regime): bit count is
+    # polylog(n), so bits/n must shrink as n grows — the checkable finite-n
+    # signature of 2^{o(n)} states.  Absolute polylog values are inflated by
+    # our unoptimized constants (DESIGN.md §3), so we assert the shape.
+    large = [row for row in rows if int(row["n"]) >= 1024]
+    normalized = [float(row["ours_rlog2_bits"]) / int(row["n"]) for row in large]
+    assert normalized == sorted(normalized, reverse=True), normalized
+    # ... and it stays below the quoted super-polynomial comparator.
+    for row in large:
+        assert float(row["ours_rlog2_bits"]) < float(row["burman_quoted_bits"])
+
+
+def test_e1_tradeoff_frontier(benchmark, record_table):
+    def experiment():
+        return tradeoff_frontier(1024)
+
+    rows = run_once(benchmark, experiment)
+    record_table(
+        "E1_tradeoff_frontier",
+        rows,
+        "E1b: space-time frontier at n=1024 (ours per r vs quoted SSR per H)",
+    )
+    fastest = min(rows, key=lambda row: float(row["ours_parallel_time"]))
+    assert float(fastest["ours_bits"]) * 1e6 < float(fastest["their_bits_quoted"])
+
+
+def test_e1_theorem_envelope(benchmark, record_table):
+    """Every computed bit count sits inside c·r²·log₂(n) + lower-order."""
+
+    def experiment():
+        rows = []
+        for n in (32, 128, 512, 2048):
+            for r in (1, 2, max(2, n // 64), n // 2):
+                bits = elect_leader_bits(n, r)
+                envelope = theorem_bound_bits(n, r, constant=60.0) + 20 * math.log2(n) + 200
+                rows.append(
+                    {
+                        "n": n,
+                        "r": r,
+                        "bits": round(bits, 1),
+                        "envelope_60_r2_log_n": round(envelope, 1),
+                        "within": bits < envelope,
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    record_table("E1_theorem_envelope", rows, "E1c: Theorem 1.1 envelope check")
+    assert all(row["within"] for row in rows)

@@ -1,0 +1,66 @@
+"""Microbenchmarks — simulator throughput per protocol.
+
+Unlike the E-series experiments (which measure *interaction counts*, a
+machine-independent quantity), these measure wall-clock throughput of the
+transition functions, using pytest-benchmark's repeated timing as
+intended.  They exist to keep the simulator's performance from silently
+regressing — the experiment suite's feasible (n, trials) envelope depends
+on it — and to document the relative cost of the protocol layers:
+``ElectLeader_r``'s verifier interactions move Θ(r²) messages, so
+throughput drops as r grows, while the baselines are O(1) per
+interaction.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.adversary.initializers import correct_verifier_configuration
+from repro.baselines.cai_izumi_wada import CaiIzumiWada
+from repro.core.elect_leader import ElectLeader
+from repro.core.params import BaselineParams, ProtocolParams
+from repro.scheduler.rng import make_rng
+from repro.scheduler.scheduler import RandomScheduler
+from repro.substrates.epidemics import EpidemicProtocol
+
+INTERACTIONS = 2_000
+
+
+def _runner(protocol, config):
+    """A closure running a fixed burst of interactions on private state."""
+    rng = make_rng(1)
+    scheduler = RandomScheduler(len(config), make_rng(2))
+    pristine = [state.clone() for state in config]
+
+    def run():
+        working = [state.clone() for state in pristine]
+        for _ in range(INTERACTIONS):
+            i, j = scheduler.next_pair()
+            protocol.transition(working[i], working[j], rng)
+
+    return run
+
+
+def test_throughput_elect_leader_verifiers_r2(benchmark):
+    protocol = ElectLeader(ProtocolParams(n=32, r=2))
+    benchmark(_runner(protocol, correct_verifier_configuration(protocol)))
+
+
+def test_throughput_elect_leader_verifiers_r8(benchmark):
+    protocol = ElectLeader(ProtocolParams(n=32, r=8))
+    benchmark(_runner(protocol, correct_verifier_configuration(protocol)))
+
+
+def test_throughput_elect_leader_ranking_phase(benchmark):
+    protocol = ElectLeader(ProtocolParams(n=32, r=4))
+    benchmark(_runner(protocol, [protocol.initial_state() for _ in range(32)]))
+
+
+def test_throughput_cai_izumi_wada(benchmark):
+    protocol = CaiIzumiWada(BaselineParams(n=32))
+    benchmark(_runner(protocol, [protocol.initial_state() for _ in range(32)]))
+
+
+def test_throughput_epidemic(benchmark):
+    protocol = EpidemicProtocol()
+    benchmark(_runner(protocol, EpidemicProtocol.seeded_configuration(32, 1)))

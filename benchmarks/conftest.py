@@ -1,0 +1,49 @@
+"""Shared harness for the experiment benchmarks.
+
+Each ``bench_*.py`` module regenerates one experiment from DESIGN.md §4
+(the per-experiment index).  Conventions:
+
+* every experiment is a single pytest-benchmark measurement
+  (``benchmark.pedantic(..., rounds=1)`` — the experiment itself runs many
+  internal trials, so re-running it for timing statistics would be waste);
+* the experiment's output table — the paper-shaped rows — is written to
+  ``benchmarks/results/<experiment>.txt`` and echoed to the terminal
+  (visible with ``-s``; always on disk either way);
+* assertions on the *shape* of the results (who wins, growth exponents)
+  make the benchmarks double as coarse regression tests.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Sequence
+
+import pytest
+
+from repro.sim.trials import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Write (and echo) an experiment's result table."""
+
+    def _record(experiment: str, rows: Sequence[dict[str, object]], title: str) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = format_table(list(rows), title=title)
+        path = RESULTS_DIR / f"{experiment}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+        return text
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run the experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Anatomy of a run: trace every phase of ``ElectLeader_r`` live.
+
+Instruments a single execution with an observer that logs each phase
+transition the paper's analysis walks through (Lemma 6.2's "correct
+execution"):
+
+    triggered reset → fully dormant → awakening → sheriff elected →
+    deputies complete → all labelled → all asleep → ranked → verifying →
+    safe
+
+Starting from a *triggered* configuration (a hard reset just fired), so
+the full pipeline is visible.
+
+Run:  python examples/protocol_anatomy.py
+"""
+
+from __future__ import annotations
+
+from repro import ElectLeader, ProtocolParams, Simulation
+from repro.core.propagate_reset import fully_dormant
+from repro.core.roles import Role
+from repro.core.state import ARPhase
+
+
+def main() -> None:
+    params = ProtocolParams(n=24, r=4)
+    protocol = ElectLeader(params)
+    config = [protocol.triggered_state() for _ in range(params.n)]
+    sim = Simulation(protocol, config=config, seed=11)
+
+    milestones: dict[str, int] = {}
+
+    def milestone(name: str) -> None:
+        if name not in milestones:
+            milestones[name] = sim.metrics.interactions
+            print(f"  t = {sim.metrics.interactions:>7d}: {name}")
+
+    def observe(simulation: Simulation, i: int, j: int) -> None:
+        cfg = simulation.config
+        if fully_dormant(cfg):
+            milestone("fully dormant (reset wave complete)")
+        if "fully dormant (reset wave complete)" in milestones and any(
+            s.role is not Role.RESETTING for s in cfg
+        ):
+            milestone("awakening (first agent computing)")
+        rankers = [s.ar for s in cfg if s.role is Role.RANKING and s.ar is not None]
+        if any(ar.phase is ARPhase.SHERIFF or ar.phase is ARPhase.DEPUTY for ar in rankers):
+            milestone("sheriff elected (badges issued)")
+        deputies = sum(1 for ar in rankers if ar.phase is ARPhase.DEPUTY)
+        if deputies == params.r:
+            milestone(f"all {params.r} deputies exist (population quorate)")
+        if rankers and all(
+            ar.phase in (ARPhase.SLEEPER, ARPhase.RANKED) for ar in rankers
+        ):
+            milestone("all rankers asleep or ranked (labels complete)")
+        if any(ar.phase is ARPhase.RANKED for ar in rankers):
+            milestone("first agent ranked")
+        if any(s.role is Role.VERIFYING for s in cfg):
+            milestone("first verifier (collision detection begins)")
+        if all(s.role is Role.VERIFYING for s in cfg):
+            milestone("all agents verifying")
+
+    sim.observers.append(observe)
+    print(f"Tracing ElectLeader_r (n={params.n}, r={params.r}) from a triggered reset:\n")
+    result = sim.run_until(
+        protocol.is_safe_configuration, max_interactions=10_000_000, check_interval=500
+    )
+    assert result.converged
+    print(f"  t = {result.interactions:>7d}: SAFE (unique leader forever — Lemma 6.1)")
+
+    print("\nFinal ranking (agent index → rank):")
+    ranks = [(i, protocol.rank(s)) for i, s in enumerate(result.config)]
+    line = ", ".join(f"{i}→{r}" for i, r in ranks)
+    print(f"  {line}")
+    leader = next(i for i, r in ranks if r == 1)
+    print(f"\nLeader: agent #{leader}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The stabilization spectrum: non-SS vs loose vs self-stabilizing.
+
+Section 2 of the paper lays out a landscape of guarantees.  This example
+makes it concrete by subjecting three protocols to the same ordeal —
+"all leader marks wiped" (for ranking protocols: all ranks set equal) —
+and watching who recovers:
+
+* pairwise elimination (2 states): stuck forever, by design;
+* the loosely-stabilizing timeout protocol (O(τ log n) states): recovers
+  fast, but its leader is only leased, not permanent;
+* ElectLeader_r (2^{O(r² log n)} states): recovers AND the leader is
+  permanent once the safe set is reached (Lemma 6.1).
+
+Run:  python examples/stabilization_spectrum.py
+"""
+
+from __future__ import annotations
+
+from repro import ElectLeader, ProtocolParams, Simulation
+from repro.adversary.initializers import all_duplicate_rank
+from repro.baselines.loosely_stabilizing import LooselyStabilizingLeaderElection
+from repro.baselines.nonss_leader import PairwiseElimination
+from repro.core.params import BaselineParams
+from repro.scheduler.rng import make_rng
+
+N = 24
+BUDGET = 5_000_000
+
+
+def main() -> None:
+    print(f"Ordeal: wipe all leader information in a population of n={N}.\n")
+
+    # --- Pairwise elimination: zero leaders is absorbing. -----------------
+    pe = PairwiseElimination(N)
+    config = [pe.initial_state() for _ in range(N)]
+    for state in config:
+        state.leader = False
+    result = Simulation(pe, config=config, seed=1).run_until(
+        pe.is_goal_configuration, max_interactions=200_000
+    )
+    print(
+        f"pairwise-elimination (2 states):        "
+        f"{'recovered' if result.converged else 'STUCK FOREVER'} "
+        f"(not self-stabilizing — zero leaders is absorbing)"
+    )
+
+    # --- Loosely-stabilizing: recovers, but the leader is leased. ---------
+    loose = LooselyStabilizingLeaderElection(BaselineParams(n=N), tau=6.0)
+    config = loose.zero_leader_configuration()
+    result = Simulation(loose, config=config, seed=2).run_until(
+        loose.is_goal_configuration, max_interactions=BUDGET, check_interval=20
+    )
+    assert result.converged
+    # Let the heartbeat saturate before timing the lease.
+    warmup = Simulation(loose, config=result.config, seed=7)
+    warmup.run(5_000)
+    holding = loose.holding_time(warmup.config, make_rng(3), budget=BUDGET)
+    held = "never broke within the budget" if holding == BUDGET else f"broke after {holding}"
+    print(
+        f"loosely-stabilizing ({loose.state_count()} states):       "
+        f"recovered in {result.interactions} interactions; "
+        f"leader lease {held}"
+    )
+
+    # --- ElectLeader_r: recovers and the leader is permanent. --------------
+    protocol = ElectLeader(ProtocolParams(n=N, r=4))
+    config = all_duplicate_rank(protocol, make_rng(4), rank=1)  # n duplicate leaders
+    result = Simulation(protocol, config=config, seed=5).run_until(
+        protocol.is_safe_configuration, max_interactions=BUDGET, check_interval=1_000
+    )
+    assert result.converged
+    # Run far past stabilization: the leader can never change (Lemma 6.1).
+    sim = Simulation(protocol, config=result.config, seed=6)
+    leader_before = next(i for i, s in enumerate(sim.config) if protocol.rank(s) == 1)
+    sim.run(200_000)
+    leader_after = next(i for i, s in enumerate(sim.config) if protocol.rank(s) == 1)
+    print(
+        f"ElectLeader_r (2^(r² log n) states):    "
+        f"recovered in {result.interactions} interactions; "
+        f"leader permanent (agent #{leader_before} == #{leader_after} "
+        f"after 200k more interactions)"
+    )
+
+    print(
+        "\nThe paper's contribution sits at the right end of this spectrum:"
+        "\npermanent guarantees from any configuration, with the state cost"
+        "\ndialled by r (see examples/tradeoff_explorer.py)."
+    )
+
+
+if __name__ == "__main__":
+    main()

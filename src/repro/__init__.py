@@ -1,0 +1,54 @@
+"""repro — reproduction of "A Space-Time Trade-off for Fast Self-Stabilizing
+Leader Election in Population Protocols" (Austin, Berenbrink, Friedetzky,
+Götte, Hintze; PODC 2025, arXiv:2505.01210).
+
+The package implements the paper's parametrized protocol ``ElectLeader_r``
+and every substrate it depends on, a simulation engine for the population
+model's uniformly random scheduler, adversarial initializers for
+self-stabilization experiments, baseline protocols from the related work,
+and analytical state-space calculators.
+
+Quickstart::
+
+    from repro import ElectLeader, ProtocolParams, Simulation
+
+    params = ProtocolParams(n=24, r=3)
+    protocol = ElectLeader(params)
+    sim = Simulation(protocol, n=params.n, seed=1)
+    result = sim.run_until(
+        protocol.is_safe_configuration,
+        max_interactions=2_000_000,
+        check_interval=2_000,
+    )
+    assert result.converged
+"""
+
+from repro.core.elect_leader import ElectLeader
+from repro.core.params import BaselineParams, ProtocolParams
+from repro.core.partition import RankPartition
+from repro.core.protocol import PopulationProtocol, RankingProtocol
+from repro.core.roles import Role
+from repro.scheduler.rng import make_rng, spawn_rngs
+from repro.sim.simulation import Simulation, SimulationResult, run_until
+from repro.sim.trials import TrialSummary, format_table, run_trials
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ElectLeader",
+    "ProtocolParams",
+    "BaselineParams",
+    "RankPartition",
+    "PopulationProtocol",
+    "RankingProtocol",
+    "Role",
+    "Simulation",
+    "SimulationResult",
+    "run_until",
+    "run_trials",
+    "TrialSummary",
+    "format_table",
+    "make_rng",
+    "spawn_rngs",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Baseline protocols from the paper's related work (Section 2)."""
+
+from repro.baselines.cai_izumi_wada import CaiIzumiWada, CIWState
+from repro.baselines.loosely_stabilizing import (
+    LooselyStabilizingLeaderElection,
+    LooseState,
+)
+from repro.baselines.nonss_leader import LeaderBitState, PairwiseElimination
+from repro.baselines.silent_ssr import BurmanStyleSSR, SSRState
+
+__all__ = [
+    "CaiIzumiWada",
+    "CIWState",
+    "PairwiseElimination",
+    "LeaderBitState",
+    "BurmanStyleSSR",
+    "SSRState",
+    "LooselyStabilizingLeaderElection",
+    "LooseState",
+]

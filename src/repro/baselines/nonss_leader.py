@@ -1,0 +1,56 @@
+"""Pairwise-elimination leader election — a non-self-stabilizing calibration
+baseline.
+
+The original Angluin et al. protocol: every agent starts as a potential
+leader; when two leaders meet, one survives::
+
+    δ(L, L) = (L, F)        δ(x, y) = (x, y)   otherwise
+
+It converges to exactly one leader from the all-leader start in ``Θ(n)``
+expected parallel time (coupon-collector over shrinking leader counts:
+``Σ_k n^2/k(k-1) = O(n^2)`` interactions) using just two states — but it
+is *not* self-stabilizing: from a zero-leader configuration no leader can
+ever appear.  Experiments use it to calibrate the simulator and to
+illustrate why SSLE needs strictly more machinery (the paper's
+introduction motivates exactly this gap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.protocol import PopulationProtocol
+from repro.scheduler.rng import RNG
+
+
+@dataclass(slots=True)
+class LeaderBitState:
+    """One bit: potential leader or follower."""
+
+    leader: bool = True
+
+    def clone(self) -> "LeaderBitState":
+        return LeaderBitState(self.leader)
+
+
+class PairwiseElimination(PopulationProtocol):
+    """Two-state leader election by pairwise elimination."""
+
+    name = "pairwise-elimination"
+
+    def __init__(self, n: int):
+        self.n = n
+
+    def initial_state(self) -> LeaderBitState:
+        return LeaderBitState(leader=True)
+
+    def transition(self, u: LeaderBitState, v: LeaderBitState, rng: RNG) -> None:
+        if u.leader and v.leader:
+            v.leader = False
+
+    def output(self, state: LeaderBitState) -> bool:
+        return state.leader
+
+    def is_goal_configuration(self, config: Sequence[LeaderBitState]) -> bool:
+        return self.leader_count(config) == 1

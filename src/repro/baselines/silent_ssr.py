@@ -1,0 +1,180 @@
+"""A Burman-et-al.-style time-optimal silent SSR baseline.
+
+The paper's head-to-head comparator is Silent-Linear-Time-SSR / the
+time-optimal self-stabilizing ranking of Burman, Chen, Chen, Doty, Nowak,
+Severson and Xu (PODC '21): agents draw random *names* from ``[n^3]``,
+broadcast the **entire set of seen names**, rank themselves by the sorted
+position of their own name once ``n`` names are known, and fall back to an
+epidemic reset on any detected inconsistency.  Stabilization takes
+``O(n log n)`` interactions w.h.p., but storing a subset of ``[n^3]`` of
+size up to ``n`` costs ``Θ(n log n)`` bits — i.e. ``2^{Θ(n log n)}``
+states, the super-polynomial bit complexity that Theorem 1.1 improves to
+``O(n^2 log n)`` bits.
+
+**Substitution note (see DESIGN.md §3):** the PODC '21 protocol detects
+rank collisions through history trees; we substitute direct detection
+(equal names or equal ranks meeting, malformed name sets), which preserves
+the baseline's clean-start time bound and its state-space shape — the two
+axes on which the paper compares — while simplifying recovery, whose
+worst-case time is ``O(n^2)`` here instead of ``O(n log n)``.  The
+experiment tables report clean-start stabilization for this baseline.
+
+The reset mechanism is the same ``PropagateReset`` pattern as the main
+protocol, inlined in a self-contained form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.params import BaselineParams
+from repro.core.protocol import RankingProtocol
+from repro.scheduler.rng import RNG
+
+
+@dataclass(slots=True)
+class SSRState:
+    """A Burman-style agent: reset fields + name-broadcast fields."""
+
+    resetting: bool = False
+    reset_count: int = 0
+    delay_timer: int = 0
+
+    name: Optional[int] = None  #: drawn u.a.r. from [n^3] on activation
+    seen: set[int] = field(default_factory=set)  #: names observed so far
+    rank: int = 0  #: 0 = undecided
+
+    def clone(self) -> "SSRState":
+        return SSRState(
+            resetting=self.resetting,
+            reset_count=self.reset_count,
+            delay_timer=self.delay_timer,
+            name=self.name,
+            seen=set(self.seen),
+            rank=self.rank,
+        )
+
+
+class BurmanStyleSSR(RankingProtocol):
+    """Time-optimal-shaped silent self-stabilizing ranking via name sets."""
+
+    name = "burman-style-ssr"
+
+    def __init__(self, params: BaselineParams):
+        self.params = params
+        self.n = params.n
+
+    # ------------------------------------------------------------------
+
+    def initial_state(self) -> SSRState:
+        """Clean start: an un-activated computing agent (awakening config)."""
+        return SSRState()
+
+    def adversarial_configuration(self, rng: RNG) -> list[SSRState]:
+        """Garbage names, seen-sets and ranks."""
+        config = []
+        for _ in range(self.n):
+            name = rng.randrange(1, self.params.name_space + 1)
+            seen = {
+                rng.randrange(1, self.params.name_space + 1)
+                for _ in range(rng.randrange(self.n + 1))
+            }
+            seen.add(name)
+            config.append(
+                SSRState(name=name, seen=seen, rank=rng.randrange(0, self.n + 1))
+            )
+        return config
+
+    # ------------------------------------------------------------------
+
+    def _trigger(self, state: SSRState) -> None:
+        state.resetting = True
+        state.reset_count = self.params.timer_max
+        state.delay_timer = self.params.timer_max
+        state.name = None
+        state.seen = set()
+        state.rank = 0
+
+    def _restart(self, state: SSRState) -> None:
+        state.resetting = False
+        state.reset_count = 0
+        state.delay_timer = 0
+        state.name = None
+        state.seen = set()
+        state.rank = 0
+
+    def _propagate_reset(self, u: SSRState, v: SSRState) -> None:
+        pre = {id(a): a.reset_count for a in (u, v) if a.resetting}
+        for a, b in ((u, v), (v, u)):
+            if a.resetting and a.reset_count > 0 and not b.resetting:
+                b.resetting = True
+                b.reset_count = 0
+                b.delay_timer = self.params.timer_max
+                b.name = None
+                b.seen = set()
+                b.rank = 0
+        if u.resetting and v.resetting:
+            merged = max(u.reset_count - 1, v.reset_count - 1, 0)
+            u.reset_count = merged
+            v.reset_count = merged
+        for a, b in ((u, v), (v, u)):
+            if not a.resetting or a.reset_count != 0:
+                continue
+            if id(a) not in pre or pre[id(a)] > 0:
+                a.delay_timer = self.params.timer_max
+            else:
+                a.delay_timer = max(0, a.delay_timer - 1)
+            if a.delay_timer == 0 or not b.resetting:
+                self._restart(a)
+
+    # ------------------------------------------------------------------
+
+    def _activate(self, state: SSRState, rng: RNG) -> None:
+        if state.name is None:
+            state.name = rng.randrange(1, self.params.name_space + 1)
+            state.seen = {state.name}
+            state.rank = 0
+
+    def _inconsistent(self, u: SSRState, v: SSRState) -> bool:
+        """Direct collision detection (the substitution for history trees)."""
+        if u.name is not None and u.name == v.name:
+            return True
+        if u.rank and u.rank == v.rank:
+            return True
+        for a in (u, v):
+            if a.name is not None and a.seen and a.name not in a.seen:
+                return True  # malformed: own name missing from the seen set
+        return len(u.seen | v.seen) > self.n
+
+    def transition(self, u: SSRState, v: SSRState, rng: RNG) -> None:
+        if u.resetting or v.resetting:
+            self._propagate_reset(u, v)
+            return
+        self._activate(u, rng)
+        self._activate(v, rng)
+        if self._inconsistent(u, v):
+            self._trigger(u)
+            return
+        merged = u.seen | v.seen
+        u.seen = set(merged)
+        v.seen = set(merged)
+        if len(merged) == self.n:
+            ordered = sorted(merged)
+            for a in (u, v):
+                assert a.name is not None
+                a.rank = ordered.index(a.name) + 1
+
+    # ------------------------------------------------------------------
+
+    def rank(self, state: SSRState) -> int:
+        return state.rank if state.rank else 1
+
+    def ranked_and_correct(self, config: Sequence[SSRState]) -> bool:
+        """Every agent decided a rank and the ranks form a permutation."""
+        if any(s.resetting or s.rank == 0 for s in config):
+            return False
+        return self.ranking_correct(config)
+
+    def is_goal_configuration(self, config: Sequence[SSRState]) -> bool:
+        return self.ranked_and_correct(config)

@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands mirror the library's main entry points:
+
+* ``run``       — stabilize ``ElectLeader_r`` from a clean start;
+* ``recover``   — stabilize from a named adversarial configuration;
+* ``tradeoff``  — sweep r at fixed n and print the measured trade-off;
+* ``statespace`` — print the analytic bit-complexity comparison table.
+
+All commands are deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.adversary.initializers import ADVERSARIES
+from repro.analysis.statespace import comparison_table, elect_leader_bits
+from repro.analysis.theory import predicted_stabilization_interactions
+from repro.core.elect_leader import ElectLeader
+from repro.core.params import ProtocolParams
+from repro.scheduler.rng import make_rng
+from repro.sim.simulation import Simulation
+from repro.sim.trials import format_table, run_trials
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Self-stabilizing leader election in population protocols "
+        "(PODC 2025 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="stabilize from a clean start")
+    run.add_argument("-n", type=int, default=32, help="population size")
+    run.add_argument("-r", type=int, default=4, help="trade-off parameter")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--max-interactions", type=int, default=20_000_000)
+
+    recover = sub.add_parser("recover", help="stabilize from an adversarial start")
+    recover.add_argument("adversary", choices=sorted(ADVERSARIES))
+    recover.add_argument("-n", type=int, default=32)
+    recover.add_argument("-r", type=int, default=4)
+    recover.add_argument("--seed", type=int, default=0)
+    recover.add_argument("--max-interactions", type=int, default=40_000_000)
+
+    tradeoff = sub.add_parser("tradeoff", help="sweep r at fixed n")
+    tradeoff.add_argument("-n", type=int, default=36)
+    tradeoff.add_argument("--trials", type=int, default=5)
+    tradeoff.add_argument("--seed", type=int, default=0)
+
+    statespace = sub.add_parser("statespace", help="bit-complexity comparison")
+    statespace.add_argument(
+        "--sizes", type=int, nargs="+", default=[16, 64, 256, 1024, 4096]
+    )
+
+    return parser
+
+
+def _stabilize(protocol: ElectLeader, config, seed: int, budget: int) -> int:
+    sim = Simulation(protocol, config=config, n=None if config else protocol.n, seed=seed)
+    result = sim.run_until(
+        protocol.is_safe_configuration, max_interactions=budget, check_interval=1_000
+    )
+    if not result.converged:
+        print(f"did NOT stabilize within {budget} interactions", file=sys.stderr)
+        return 1
+    summary = protocol.describe_configuration(result.config)
+    print(
+        f"stabilized after {result.interactions} interactions "
+        f"({result.parallel_time:.1f} parallel time)"
+    )
+    print(f"leaders: {summary['leaders']}  ranking_correct: {summary['ranking_correct']}")
+    print(
+        f"events: hard_resets={protocol.events['hard_reset']} "
+        f"soft_resets={protocol.events['soft_reset']}"
+    )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    protocol = ElectLeader(ProtocolParams(n=args.n, r=args.r))
+    print(f"ElectLeader_r: n={args.n} r={args.r} seed={args.seed} (clean start)")
+    return _stabilize(protocol, None, args.seed, args.max_interactions)
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    protocol = ElectLeader(ProtocolParams(n=args.n, r=args.r))
+    config = ADVERSARIES[args.adversary](protocol, make_rng(args.seed))
+    print(
+        f"ElectLeader_r: n={args.n} r={args.r} seed={args.seed} "
+        f"(adversary: {args.adversary})"
+    )
+    return _stabilize(protocol, config, args.seed + 1, args.max_interactions)
+
+
+def cmd_tradeoff(args: argparse.Namespace) -> int:
+    n = args.n
+    rs = sorted({1, 2, 4, max(1, n // 8), max(1, n // 2)})
+    rows = []
+    for r in rs:
+        if r > n // 2:
+            continue
+        protocol = ElectLeader(ProtocolParams(n=n, r=r))
+        summary = run_trials(
+            protocol,
+            protocol.is_safe_configuration,
+            n=n,
+            trials=args.trials,
+            max_interactions=50_000_000,
+            seed=args.seed + r,
+            check_interval=1_000,
+            label=f"r={r}",
+        )
+        rows.append(
+            {
+                "r": r,
+                "median_interactions": summary.median_interactions,
+                "parallel_time": round(summary.median_time, 1),
+                "predicted": round(
+                    predicted_stabilization_interactions(protocol.params)
+                ),
+                "state_bits": round(elect_leader_bits(n, r), 1),
+            }
+        )
+    print(format_table(rows, title=f"Space-time trade-off at n={n}"))
+    return 0
+
+
+def cmd_statespace(args: argparse.Namespace) -> int:
+    rows = comparison_table(args.sizes)
+    print(format_table(rows, title="Bit complexity (log2 #states)"))
+    return 0
+
+
+COMMANDS = {
+    "run": cmd_run,
+    "recover": cmd_recover,
+    "tradeoff": cmd_tradeoff,
+    "statespace": cmd_statespace,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

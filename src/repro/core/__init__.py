@@ -1,0 +1,22 @@
+"""Core protocol components: the paper's primary contribution.
+
+This package implements ``ElectLeader_r`` (Protocol 1 of the paper) and all
+of its sub-protocols: ``PropagateReset`` (Appendix C), ``AssignRanks_r``
+(Appendix D), ``StableVerify_r`` (Section 5) and ``DetectCollision_r``
+(Section 5.1), plus the ``FastLeaderElect`` black-box used by the ranking
+component (Appendix D.2).
+"""
+
+from repro.core.params import ProtocolParams
+from repro.core.protocol import PopulationProtocol
+from repro.core.roles import Role
+from repro.core.partition import RankPartition
+from repro.core.elect_leader import ElectLeader
+
+__all__ = [
+    "ProtocolParams",
+    "PopulationProtocol",
+    "Role",
+    "RankPartition",
+    "ElectLeader",
+]

@@ -1,0 +1,149 @@
+"""``FastLeaderElect`` — non-self-stabilizing leader election (Appendix D.2).
+
+``AssignRanks_r`` needs a sheriff elected from an *awakening* configuration
+(agents may wake up at very different times, so protocols that assume a
+common start state do not apply).  The paper's self-contained protocol:
+
+* on its first activation an agent draws an identifier u.a.r. from
+  ``[n^3]`` and starts a personal countdown ``LECount = c·log n``
+  (``c > 14`` in the paper so that two sequential epidemics complete
+  first, Lemma D.11);
+* the minimum identifier spreads by a two-way epidemic through the
+  ``MinIdentifier`` field;
+* when an agent's countdown expires it sets ``LeaderDone`` and declares
+  itself leader iff its own identifier equals the minimum it has seen.
+
+With identifiers from ``[n^3]`` the minimum is unique w.h.p. (union bound
+over ``O(n^2)`` pairs), so w.h.p. exactly one leader emerges within
+``O(log n)`` parallel time (Lemma D.10).
+
+This module operates on the FastLeaderElect fields embedded in
+:class:`~repro.core.state.ARState`; :mod:`repro.core.assign_ranks` invokes
+it while both agents are in the ``LEADER_ELECTION`` phase and converts the
+winner into the sheriff.  A standalone protocol wrapper for direct
+measurement (experiment E12) lives in
+:class:`repro.core.fast_leader_elect.FastLeaderElectProtocol`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.params import ProtocolParams
+from repro.core.protocol import PopulationProtocol
+from repro.core.state import ARState
+from repro.scheduler.rng import RNG
+
+
+def activate(state: ARState, params: ProtocolParams, rng: RNG) -> None:
+    """First activation: draw the identifier, start the countdown.
+
+    Idempotent — does nothing if the agent already drew an identifier.
+    """
+    if state.identifier is not None:
+        return
+    state.identifier = rng.randrange(1, params.identifier_space + 1)
+    state.min_identifier = state.identifier
+    state.le_count = params.le_count_max
+    state.leader_done = False
+    state.leader_bit = False
+
+
+def leader_election_step(u: ARState, v: ARState, params: ProtocolParams, rng: RNG) -> None:
+    """One FastLeaderElect interaction between two leader-election agents."""
+    activate(u, params, rng)
+    activate(v, params, rng)
+
+    # Two-way min-epidemic on identifiers (Eq. 10).
+    assert u.min_identifier is not None and v.min_identifier is not None
+    merged = min(u.min_identifier, v.min_identifier)
+    u.min_identifier = merged
+    v.min_identifier = merged
+
+    # Personal countdowns; on expiry the agent decides.
+    for agent in (u, v):
+        if agent.leader_done:
+            continue
+        agent.le_count -= 1
+        if agent.le_count <= 0:
+            agent.le_count = 0
+            agent.leader_done = True
+            agent.leader_bit = agent.identifier == agent.min_identifier
+
+
+# ---------------------------------------------------------------------------
+# Standalone protocol for direct measurement (experiment E12)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class LEState:
+    """Standalone FastLeaderElect agent state (Fig. 4)."""
+
+    identifier: Optional[int] = None
+    min_identifier: Optional[int] = None
+    le_count: int = 0
+    leader_done: bool = False
+    leader_bit: bool = False
+
+    def clone(self) -> "LEState":
+        return LEState(
+            self.identifier,
+            self.min_identifier,
+            self.le_count,
+            self.leader_done,
+            self.leader_bit,
+        )
+
+
+class FastLeaderElectProtocol(PopulationProtocol):
+    """FastLeaderElect as a standalone population protocol.
+
+    Started from a clean configuration (all agents un-activated, modelling
+    an awakening configuration in which every agent activates on its first
+    interaction), it elects a unique leader within ``O(log n)`` parallel
+    time w.h.p. — Lemma D.10.
+    """
+
+    name = "fast-leader-elect"
+
+    def __init__(self, params: ProtocolParams):
+        self.params = params
+        self.n = params.n
+
+    def initial_state(self) -> LEState:
+        return LEState()
+
+    def transition(self, u: LEState, v: LEState, rng: RNG) -> None:
+        self._activate(u, rng)
+        self._activate(v, rng)
+        assert u.min_identifier is not None and v.min_identifier is not None
+        merged = min(u.min_identifier, v.min_identifier)
+        u.min_identifier = merged
+        v.min_identifier = merged
+        for agent in (u, v):
+            if agent.leader_done:
+                continue
+            agent.le_count -= 1
+            if agent.le_count <= 0:
+                agent.le_count = 0
+                agent.leader_done = True
+                agent.leader_bit = agent.identifier == agent.min_identifier
+
+    def _activate(self, state: LEState, rng: RNG) -> None:
+        if state.identifier is None:
+            state.identifier = rng.randrange(1, self.params.identifier_space + 1)
+            state.min_identifier = state.identifier
+            state.le_count = self.params.le_count_max
+
+    def output(self, state: LEState) -> bool:
+        return state.leader_bit
+
+    def all_done(self, config: Sequence[LEState]) -> bool:
+        """True iff every agent has decided."""
+        return all(s.leader_done for s in config)
+
+    def is_goal_configuration(self, config: Sequence[LEState]) -> bool:
+        """Done with exactly one leader."""
+        return self.all_done(config) and self.leader_count(config) == 1

@@ -1,0 +1,121 @@
+"""``PropagateReset`` — the epidemic hard-reset mechanism (Appendix C).
+
+The protocol, due to Burman et al. (PODC '21), resets the whole population
+to a well-defined clean configuration:
+
+* an agent *triggers* a reset by becoming a resetter with
+  ``resetCount = R_max`` (Protocol 5);
+* resetters with positive count infect computing agents and synchronize
+  counts downward via ``max(u−1, v−1, 0)`` (Protocol 4, lines 1-4);
+* an agent whose count hits zero becomes *dormant* and waits out
+  ``delayTimer = D_max`` interactions — by Lemma C.1 the whole population
+  is dormant before any timer expires, w.h.p.;
+* a dormant agent restarts (``Reset``) when its delay expires or when it
+  meets a computing agent, so awakening spreads as an epidemic
+  (Theorem C.2 / Corollary C.3).
+
+``Reset`` itself (Protocol 6) is supplied by the *user* of the mechanism —
+here ``ElectLeader_r``, which restarts agents as rankers — so this module
+exposes the transition as a function over :class:`AgentState` taking a
+``reset_agent`` callback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.params import ProtocolParams
+from repro.core.roles import Role
+from repro.core.state import AgentState, PRState
+
+#: Callback (re-)initializing an agent when it leaves dormancy (Protocol 6).
+ResetCallback = Callable[[AgentState], None]
+
+
+def trigger_reset(state: AgentState, params: ProtocolParams) -> None:
+    """Protocol 5: make ``state`` a freshly-triggered resetter."""
+    state.role = Role.RESETTING
+    state.pr = PRState(
+        reset_count=params.reset_count_max,
+        delay_timer=params.delay_timer_max,
+    )
+    # Role change deletes the newly inactive fields (Fig. 1).
+    state.ar = None
+    state.sv = None
+    state.rank = 1
+    state.countdown = 0
+
+
+def propagate_reset(
+    u: AgentState,
+    v: AgentState,
+    params: ProtocolParams,
+    reset_agent: ResetCallback,
+) -> None:
+    """Protocol 4, symmetrized over the (unordered) interacting pair.
+
+    The paper's pseudocode is written with ``u`` the resetter; interactions
+    in the population model update both participants, so we apply the
+    infection / countdown / dormancy rules to whichever participants are
+    resetting.  At least one of ``u``, ``v`` must be resetting.
+    """
+    if u.role is not Role.RESETTING and v.role is not Role.RESETTING:
+        raise ValueError("propagate_reset requires at least one resetting agent")
+
+    # Snapshot pre-interaction counts to evaluate "just became 0" (line 6).
+    pre_counts = {
+        id(a): (a.pr.reset_count if a.role is Role.RESETTING and a.pr is not None else None)
+        for a in (u, v)
+    }
+
+    # Lines 1-2: infection.  A resetter with positive count turns a
+    # computing partner into a resetter (count 0, full delay).
+    for a, b in ((u, v), (v, u)):
+        if (
+            a.role is Role.RESETTING
+            and a.pr is not None
+            and a.pr.reset_count > 0
+            and b.role is not Role.RESETTING
+        ):
+            b.role = Role.RESETTING
+            b.pr = PRState(reset_count=0, delay_timer=params.delay_timer_max)
+            b.ar = None
+            b.sv = None
+            b.rank = 1
+            b.countdown = 0
+
+    # Lines 3-4: two resetters synchronize their countdowns downward.
+    if u.role is Role.RESETTING and v.role is Role.RESETTING:
+        assert u.pr is not None and v.pr is not None
+        merged = max(u.pr.reset_count - 1, v.pr.reset_count - 1, 0)
+        u.pr.reset_count = merged
+        v.pr.reset_count = merged
+
+    # Lines 5-11: dormancy countdown and awakening.
+    for a, b in ((u, v), (v, u)):
+        if a.role is not Role.RESETTING or a.pr is None or a.pr.reset_count != 0:
+            continue
+        pre = pre_counts[id(a)]
+        just_became_zero = pre is None or pre > 0
+        if just_became_zero:
+            a.pr.delay_timer = params.delay_timer_max
+        else:
+            a.pr.delay_timer = max(0, a.pr.delay_timer - 1)
+        partner_computing = b.role is not Role.RESETTING
+        if a.pr.delay_timer == 0 or partner_computing:
+            reset_agent(a)
+
+
+def is_dormant(state: AgentState) -> bool:
+    """True iff the agent is a dormant resetter (count 0, waiting)."""
+    return state.role is Role.RESETTING and state.pr is not None and state.pr.dormant
+
+
+def fully_dormant(config: list[AgentState]) -> bool:
+    """True iff every agent is dormant (Appendix C terminology)."""
+    return all(is_dormant(s) for s in config)
+
+
+def partially_computing(config: list[AgentState]) -> bool:
+    """True iff some agent is computing (non-resetting)."""
+    return any(s.role is not Role.RESETTING for s in config)

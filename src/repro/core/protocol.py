@@ -1,0 +1,100 @@
+"""Abstract interface for population protocols.
+
+A population protocol (Angluin et al., JDistComp '06) is a pair ``(Q, δ)``
+of a state space and a transition function applied to uniformly random
+ordered pairs of agents.  Agents are anonymous: the transition function may
+only read and write the two interacting *states*, never agent identities.
+
+This module fixes the contract every protocol in this repository obeys:
+
+* :meth:`PopulationProtocol.initial_state` produces the clean start state
+  (used by non-self-stabilizing components and by benchmarks that measure
+  convergence from a clean configuration);
+* :meth:`PopulationProtocol.transition` mutates the two states in place
+  (population protocol transitions are total functions ``Q×Q → Q×Q``; we
+  use in-place mutation for speed and return nothing);
+* :meth:`PopulationProtocol.output` maps a state to the protocol's output
+  (for leader election: ``True`` iff the agent is marked leader);
+* :meth:`PopulationProtocol.is_goal_configuration` is the correctness
+  predicate used by the simulator's convergence detection.
+
+Self-stabilization is exercised by bypassing ``initial_state`` and handing
+the simulator an adversarial configuration (see
+:mod:`repro.adversary.initializers`).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Sequence
+
+from repro.scheduler.rng import RNG
+
+
+class PopulationProtocol(abc.ABC):
+    """Base class for all population protocols in this repository."""
+
+    #: human-readable protocol name used by benchmarks and reports
+    name: str = "protocol"
+
+    @abc.abstractmethod
+    def initial_state(self) -> Any:
+        """A fresh clean start state (one per agent; never shared/aliased)."""
+
+    @abc.abstractmethod
+    def transition(self, u: Any, v: Any, rng: RNG) -> None:
+        """Apply δ to the ordered pair ``(u, v)``, mutating both states.
+
+        ``rng`` models the paper's assumption that agents can sample values
+        (almost) uniformly at random; Appendix B shows how to compile such
+        sampling down to scheduler randomness (see
+        :mod:`repro.substrates.synthetic_coin`).
+        """
+
+    @abc.abstractmethod
+    def output(self, state: Any) -> Any:
+        """The agent's output in this state (protocol-specific)."""
+
+    def is_goal_configuration(self, config: Sequence[Any]) -> bool:
+        """True iff the configuration is correct for the protocol's task.
+
+        Default: exactly one agent outputs a truthy value (leader election).
+        """
+        return sum(1 for s in config if self.output(s)) == 1
+
+    # ------------------------------------------------------------------
+
+    def clean_configuration(self, n: int) -> list[Any]:
+        """A list of ``n`` independent clean start states."""
+        return [self.initial_state() for _ in range(n)]
+
+    def leader_count(self, config: Sequence[Any]) -> int:
+        """Number of agents currently marked leader."""
+        return sum(1 for s in config if self.output(s))
+
+
+class RankingProtocol(PopulationProtocol):
+    """A protocol whose output is a rank in ``[n]`` (leader = rank 1).
+
+    All self-stabilizing protocols in this repository solve leader election
+    via ranking, following the paper (Section 3): the existence of duplicate
+    leaders and the absence of a leader both manifest as rank collisions.
+    """
+
+    n: int = 0
+
+    @abc.abstractmethod
+    def rank(self, state: Any) -> int:
+        """The agent's current presumed rank in ``[n]`` (1-based)."""
+
+    def output(self, state: Any) -> bool:
+        """Leader iff rank 1 (the paper's convention)."""
+        return self.rank(state) == 1
+
+    def ranking_correct(self, config: Sequence[Any]) -> bool:
+        """True iff the ranks form a permutation of ``1..n``."""
+        ranks = sorted(self.rank(s) for s in config)
+        return ranks == list(range(1, len(config) + 1))
+
+    def is_goal_configuration(self, config: Sequence[Any]) -> bool:
+        return self.ranking_correct(config)

@@ -1,0 +1,6 @@
+"""Uniform random pairwise scheduler and reproducible RNG utilities."""
+
+from repro.scheduler.rng import RNG, make_rng, spawn_rngs
+from repro.scheduler.scheduler import RandomScheduler, RecordedSchedule
+
+__all__ = ["RNG", "make_rng", "spawn_rngs", "RandomScheduler", "RecordedSchedule"]

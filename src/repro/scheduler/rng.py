@@ -1,0 +1,47 @@
+"""Seeded random number generation for reproducible experiments.
+
+Every stochastic component in this repository draws randomness through a
+:class:`random.Random` instance threaded explicitly through the call tree
+(never the module-level global).  This keeps individual trials replayable
+from a seed and lets multi-trial experiments spawn independent streams.
+
+We use the standard library generator rather than numpy's: protocol
+transitions draw one or two small integers per interaction, where
+``random.Random.randrange`` has far lower per-call overhead than
+constructing numpy arrays, and the Mersenne Twister's reproducibility
+guarantees across platforms are all we need.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+#: The RNG type threaded through all protocol transitions.
+RNG = random.Random
+
+#: Large odd multiplier used to decorrelate derived seeds (splitmix-style).
+_SEED_STRIDE = 0x9E3779B97F4A7C15
+
+
+def make_rng(seed: int | None = 0) -> RNG:
+    """A fresh seeded generator.  ``seed=None`` gives OS entropy."""
+    return random.Random(seed)
+
+
+def derive_seed(seed: int, index: int) -> int:
+    """A deterministic child seed for trial ``index`` of a seeded experiment."""
+    return (seed * _SEED_STRIDE + index * 0xBF58476D1CE4E5B9 + 0x94D049BB133111EB) % 2**63
+
+
+def spawn_rngs(seed: int, count: int) -> list[RNG]:
+    """``count`` independent generators derived deterministically from ``seed``."""
+    return [random.Random(derive_seed(seed, i)) for i in range(count)]
+
+
+def iter_rngs(seed: int) -> Iterator[RNG]:
+    """An endless stream of independent generators derived from ``seed``."""
+    index = 0
+    while True:
+        yield random.Random(derive_seed(seed, index))
+        index += 1

@@ -1,0 +1,39 @@
+"""Simulation engine: run protocols under the uniform random scheduler."""
+
+from repro.sim.convergence import (
+    SilenceDetector,
+    all_of,
+    any_of,
+    correct_ranking,
+    run_to_silence,
+    unique_leader,
+)
+from repro.sim.faults import AvailabilityReport, FaultInjector, measure_availability
+from repro.sim.metrics import Metrics
+from repro.sim.replay import replay, record_and_replay_matches
+from repro.sim.simulation import Simulation, SimulationResult, run_until
+from repro.sim.trace import ProtocolTracer, TraceEvent
+from repro.sim.trials import TrialSummary, format_table, run_trials
+
+__all__ = [
+    "Simulation",
+    "SimulationResult",
+    "run_until",
+    "Metrics",
+    "TrialSummary",
+    "run_trials",
+    "format_table",
+    "replay",
+    "record_and_replay_matches",
+    "SilenceDetector",
+    "run_to_silence",
+    "unique_leader",
+    "correct_ranking",
+    "all_of",
+    "any_of",
+    "FaultInjector",
+    "AvailabilityReport",
+    "measure_availability",
+    "ProtocolTracer",
+    "TraceEvent",
+]

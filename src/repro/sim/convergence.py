@@ -1,0 +1,116 @@
+"""Composable convergence predicates and silence detection.
+
+Protocols carry their own correctness predicates
+(``is_goal_configuration``, ``is_safe_configuration``, ...); this module
+provides generic combinators on top of them plus *silence* detection —
+"no agent changes its state for T consecutive interactions" — which is the
+operational convergence notion for the paper's silent protocols
+(AssignRanks, CIW, Burman-style SSR; see Section 1.1's definition of a
+silent self-stabilizing protocol).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.core.protocol import PopulationProtocol, RankingProtocol
+from repro.sim.simulation import ConfigPredicate, Simulation
+
+
+def unique_leader(protocol: PopulationProtocol) -> ConfigPredicate:
+    """Exactly one agent outputs leader."""
+
+    def predicate(config: Sequence[Any]) -> bool:
+        return protocol.leader_count(config) == 1
+
+    return predicate
+
+
+def correct_ranking(protocol: RankingProtocol) -> ConfigPredicate:
+    """Ranks form a permutation of [n]."""
+
+    def predicate(config: Sequence[Any]) -> bool:
+        return protocol.ranking_correct(config)
+
+    return predicate
+
+
+def all_of(*predicates: ConfigPredicate) -> ConfigPredicate:
+    """Conjunction of predicates."""
+
+    def predicate(config: Sequence[Any]) -> bool:
+        return all(p(config) for p in predicates)
+
+    return predicate
+
+
+def any_of(*predicates: ConfigPredicate) -> ConfigPredicate:
+    """Disjunction of predicates."""
+
+    def predicate(config: Sequence[Any]) -> bool:
+        return any(p(config) for p in predicates)
+
+    return predicate
+
+
+class SilenceDetector:
+    """Detects configurations that have been silent for a window.
+
+    Usage: install :meth:`observe` as a simulation observer and use
+    :meth:`silent_for` as (part of) the convergence predicate.  A protocol
+    is *silent* once no interaction changes any state (the absorbing
+    configurations of CIW, ranked AssignRanks populations, ...); since
+    state equality checks are expensive, we fingerprint configurations
+    with a caller-supplied key function (default: ``repr``).
+    """
+
+    def __init__(self, key: Callable[[Any], object] = repr):
+        self._key = key
+        self._last_fingerprint: object = None
+        self._unchanged_since: int = 0
+
+    def observe(self, sim: Simulation, i: int, j: int) -> None:
+        fingerprint = tuple(self._key(state) for state in sim.config)
+        if fingerprint != self._last_fingerprint:
+            self._last_fingerprint = fingerprint
+            self._unchanged_since = sim.metrics.interactions
+
+    def quiet_interactions(self, sim: Simulation) -> int:
+        """Interactions since the configuration last changed."""
+        return sim.metrics.interactions - self._unchanged_since
+
+    def silent_for(self, sim: Simulation, window: int) -> ConfigPredicate:
+        """Predicate: configuration unchanged for ≥ ``window`` interactions."""
+
+        def predicate(config: Sequence[Any]) -> bool:
+            return self.quiet_interactions(sim) >= window
+
+        return predicate
+
+
+def run_to_silence(
+    protocol: PopulationProtocol,
+    *,
+    config: list[Any] | None = None,
+    n: int | None = None,
+    seed: int = 0,
+    window: int,
+    max_interactions: int,
+    key: Callable[[Any], object] = repr,
+) -> tuple[Simulation, bool]:
+    """Run until the configuration is unchanged for ``window`` interactions.
+
+    Returns the simulation and whether silence was reached.  The reported
+    convergence point overshoots the true silencing moment by up to
+    ``window`` interactions, which callers should subtract when measuring
+    silent-stabilization time.
+    """
+    sim = Simulation(protocol, config=config, n=n, seed=seed)
+    detector = SilenceDetector(key)
+    sim.observers.append(detector.observe)
+    result = sim.run_until(
+        detector.silent_for(sim, window),
+        max_interactions=max_interactions,
+        check_interval=max(1, window // 4),
+    )
+    return sim, result.converged

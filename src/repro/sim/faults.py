@@ -1,0 +1,165 @@
+"""Transient-fault injection and availability measurement.
+
+The paper's motivation (Section 1): "the agents' memory and, therefore,
+their states can be corrupted through all kinds of outside influences" —
+self-stabilization is the answer to faults being the rule rather than the
+exception.  This module turns that story into a measurable workload:
+
+* :class:`FaultInjector` corrupts a random subset of agents at
+  exponentially-distributed intervals (rate ``faults_per_parallel_time``
+  per unit of parallel time), using a caller-supplied corruption function
+  — typically one of the adversary suite's single-agent scramblers;
+* :func:`measure_availability` runs a protocol under continuous injection
+  and reports the fraction of checkpoints at which the output was correct
+  (a unique leader), plus mean-time-to-repair statistics.
+
+Experiment E15 sweeps the fault rate: availability should degrade
+gracefully and recover to ~1 when the mean fault interval exceeds the
+recovery time — the operational content of Theorem 1.1's recovery bound.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.core.protocol import PopulationProtocol
+from repro.scheduler.rng import RNG
+from repro.sim.simulation import Simulation
+
+#: Corrupts one agent's state in place (or returns a replacement state).
+AgentCorruption = Callable[[Any, RNG], Any]
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault burst."""
+
+    interaction: int
+    agents: list[int]
+
+
+class FaultInjector:
+    """Injects corruption bursts into a running simulation.
+
+    Burst times follow an exponential inter-arrival law with mean
+    ``n / rate`` interactions (i.e. ``rate`` bursts per unit of parallel
+    time); each burst corrupts ``burst_size`` uniformly chosen agents.
+    """
+
+    def __init__(
+        self,
+        corruption: AgentCorruption,
+        rate: float,
+        burst_size: int,
+        rng: RNG,
+    ):
+        if rate <= 0:
+            raise ValueError("fault rate must be positive")
+        if burst_size < 1:
+            raise ValueError("burst size must be at least one agent")
+        self.corruption = corruption
+        self.rate = rate
+        self.burst_size = burst_size
+        self._rng = rng
+        self.events: list[FaultEvent] = []
+        self._next_burst: float | None = None
+
+    def _schedule(self, sim: Simulation) -> None:
+        mean_gap = sim.n / self.rate
+        self._next_burst = sim.metrics.interactions + self._rng.expovariate(1.0 / mean_gap)
+
+    def observe(self, sim: Simulation, i: int, j: int) -> None:
+        """Install as a simulation observer."""
+        if self._next_burst is None:
+            self._schedule(sim)
+        assert self._next_burst is not None
+        if sim.metrics.interactions < self._next_burst:
+            return
+        victims = self._rng.sample(range(sim.n), min(self.burst_size, sim.n))
+        for victim in victims:
+            replacement = self.corruption(sim.config[victim], self._rng)
+            if replacement is not None:
+                sim.config[victim] = replacement
+        self.events.append(FaultEvent(sim.metrics.interactions, victims))
+        self._schedule(sim)
+
+
+@dataclass
+class AvailabilityReport:
+    """Result of an availability run."""
+
+    interactions: int
+    checkpoints: int
+    available_checkpoints: int
+    fault_bursts: int
+    repair_times: list[int]
+
+    @property
+    def availability(self) -> float:
+        return self.available_checkpoints / self.checkpoints if self.checkpoints else 0.0
+
+    @property
+    def median_repair_interactions(self) -> float:
+        return statistics.median(self.repair_times) if self.repair_times else math.nan
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "availability": round(self.availability, 3),
+            "fault_bursts": self.fault_bursts,
+            "median_repair": self.median_repair_interactions,
+        }
+
+
+def measure_availability(
+    protocol: PopulationProtocol,
+    correct: Callable[[Sequence[Any]], bool],
+    injector: FaultInjector,
+    *,
+    n: int,
+    seed: int,
+    total_interactions: int,
+    checkpoint_every: int,
+    warmup_interactions: int = 0,
+    config: list[Any] | None = None,
+) -> AvailabilityReport:
+    """Run under fault injection; sample correctness at checkpoints.
+
+    ``correct`` is the instantaneous output predicate (cheap; evaluated at
+    every checkpoint).  Repair times are measured from each fault burst to
+    the first correct checkpoint after it.
+    """
+    sim = Simulation(protocol, config=config, n=None if config else n, seed=seed)
+    if warmup_interactions:
+        sim.run(warmup_interactions)
+    sim.observers.append(injector.observe)
+
+    checkpoints = 0
+    available = 0
+    repair_times: list[int] = []
+    pending_fault: int | None = None
+    fault_cursor = 0
+    remaining = total_interactions
+    while remaining > 0:
+        burst = min(checkpoint_every, remaining)
+        sim.run(burst)
+        remaining -= burst
+        # Account for any faults injected during the burst.
+        while fault_cursor < len(injector.events):
+            pending_fault = injector.events[fault_cursor].interaction
+            fault_cursor += 1
+        checkpoints += 1
+        if correct(sim.config):
+            available += 1
+            if pending_fault is not None:
+                repair_times.append(sim.metrics.interactions - pending_fault)
+                pending_fault = None
+    return AvailabilityReport(
+        interactions=total_interactions,
+        checkpoints=checkpoints,
+        available_checkpoints=available,
+        fault_bursts=len(injector.events),
+        repair_times=repair_times,
+    )

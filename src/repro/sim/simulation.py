@@ -1,0 +1,135 @@
+"""The simulation engine.
+
+:class:`Simulation` owns a configuration (a list of agent states), a
+protocol, a scheduler and a metrics object, and advances the population
+one uniformly random interaction at a time.  Convergence predicates are
+evaluated every ``check_interval`` interactions (full-configuration
+predicates such as ``ElectLeader.is_safe_configuration`` walk the whole
+message system, so per-interaction evaluation would dominate runtime).
+
+Determinism: a simulation is fully determined by ``(protocol, initial
+configuration, seed)`` — the seed drives both the scheduler and the
+transition-function sampling, through two independent derived streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.protocol import PopulationProtocol
+from repro.scheduler.rng import RNG, derive_seed, make_rng
+from repro.scheduler.scheduler import RandomScheduler
+from repro.sim.metrics import Metrics
+
+#: A predicate over the full configuration.
+ConfigPredicate = Callable[[Sequence[Any]], bool]
+#: Observer invoked as ``observer(simulation, i, j)`` after each interaction.
+Observer = Callable[["Simulation", int, int], None]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of :meth:`Simulation.run_until` / :func:`run_until`."""
+
+    converged: bool
+    interactions: int
+    parallel_time: float
+    metrics: Metrics
+    config: list[Any]
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.converged
+
+
+class Simulation:
+    """A single protocol execution under the uniform random scheduler."""
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        config: Optional[list[Any]] = None,
+        n: Optional[int] = None,
+        seed: int = 0,
+    ):
+        if config is None:
+            if n is None:
+                raise ValueError("provide either an initial config or a population size n")
+            config = protocol.clean_configuration(n)
+        self.protocol = protocol
+        self.config = config
+        self.n = len(config)
+        if self.n < 2:
+            raise ValueError("population must have at least two agents")
+        self.seed = seed
+        self._scheduler_rng: RNG = make_rng(derive_seed(seed, 0))
+        self.transition_rng: RNG = make_rng(derive_seed(seed, 1))
+        self.scheduler = RandomScheduler(self.n, self._scheduler_rng)
+        self.metrics = Metrics(n=self.n)
+        self.observers: list[Observer] = []
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> tuple[int, int]:
+        """Run one interaction; returns the interacting pair."""
+        i, j = self.scheduler.next_pair()
+        self.protocol.transition(self.config[i], self.config[j], self.transition_rng)
+        self.metrics.interactions += 1
+        for observer in self.observers:
+            observer(self, i, j)
+        return i, j
+
+    def run(self, interactions: int) -> None:
+        """Run a fixed number of interactions."""
+        for _ in range(interactions):
+            self.step()
+
+    def run_until(
+        self,
+        predicate: ConfigPredicate,
+        max_interactions: int,
+        check_interval: int = 1,
+    ) -> SimulationResult:
+        """Run until ``predicate(config)`` holds or the budget is exhausted.
+
+        The predicate is evaluated before the first step (an adversarial
+        start may already satisfy it) and then every ``check_interval``
+        interactions.
+        """
+        if check_interval < 1:
+            raise ValueError("check_interval must be positive")
+        if predicate(self.config):
+            return self._result(converged=True)
+        remaining = max_interactions
+        while remaining > 0:
+            burst = min(check_interval, remaining)
+            for _ in range(burst):
+                self.step()
+            remaining -= burst
+            if predicate(self.config):
+                return self._result(converged=True)
+        return self._result(converged=False)
+
+    def _result(self, converged: bool) -> SimulationResult:
+        return SimulationResult(
+            converged=converged,
+            interactions=self.metrics.interactions,
+            parallel_time=self.metrics.parallel_time,
+            metrics=self.metrics,
+            config=self.config,
+        )
+
+
+def run_until(
+    protocol: PopulationProtocol,
+    predicate: ConfigPredicate,
+    *,
+    config: Optional[list[Any]] = None,
+    n: Optional[int] = None,
+    seed: int = 0,
+    max_interactions: int,
+    check_interval: int = 1,
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`Simulation`."""
+    sim = Simulation(protocol, config=config, n=n, seed=seed)
+    return sim.run_until(predicate, max_interactions, check_interval)

@@ -1,0 +1,128 @@
+"""Multi-trial experiment runner with w.h.p.-style aggregation.
+
+The paper's guarantees are "with high probability" statements; at finite
+``n`` we estimate the corresponding quantiles by running many independent
+seeded trials and reporting median / p95 alongside the success rate within
+the interaction budget.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.protocol import PopulationProtocol
+from repro.scheduler.rng import derive_seed
+from repro.sim.simulation import ConfigPredicate, SimulationResult, run_until
+
+#: Builds a fresh initial configuration for trial ``index`` (or None for clean).
+ConfigFactory = Callable[[int], Optional[list[Any]]]
+
+
+@dataclass
+class TrialSummary:
+    """Aggregated statistics over independent trials of one experiment."""
+
+    label: str
+    n: int
+    trials: int
+    converged: int
+    interactions: list[float]
+    parallel_times: list[float]
+
+    @property
+    def success_rate(self) -> float:
+        return self.converged / self.trials if self.trials else 0.0
+
+    @property
+    def median_interactions(self) -> float:
+        return statistics.median(self.interactions) if self.interactions else float("nan")
+
+    @property
+    def median_time(self) -> float:
+        return statistics.median(self.parallel_times) if self.parallel_times else float("nan")
+
+    @property
+    def p95_time(self) -> float:
+        if not self.parallel_times:
+            return float("nan")
+        ordered = sorted(self.parallel_times)
+        index = min(len(ordered) - 1, int(0.95 * len(ordered)))
+        return ordered[index]
+
+    @property
+    def mean_time(self) -> float:
+        return statistics.fmean(self.parallel_times) if self.parallel_times else float("nan")
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "label": self.label,
+            "n": self.n,
+            "trials": self.trials,
+            "success_rate": round(self.success_rate, 3),
+            "median_interactions": self.median_interactions,
+            "median_time": round(self.median_time, 2),
+            "p95_time": round(self.p95_time, 2),
+        }
+
+
+def run_trials(
+    protocol: PopulationProtocol,
+    predicate: ConfigPredicate,
+    *,
+    n: int,
+    trials: int,
+    max_interactions: int,
+    seed: int = 0,
+    check_interval: int = 1,
+    config_factory: Optional[ConfigFactory] = None,
+    label: str = "",
+) -> TrialSummary:
+    """Run ``trials`` independent seeded executions and aggregate.
+
+    Only converged trials contribute to the time statistics; the success
+    rate reports how many converged within the interaction budget (the
+    empirical stand-in for the paper's w.h.p. qualifier).
+    """
+    interactions: list[float] = []
+    times: list[float] = []
+    converged = 0
+    for index in range(trials):
+        config = config_factory(index) if config_factory is not None else None
+        result: SimulationResult = run_until(
+            protocol,
+            predicate,
+            config=config,
+            n=None if config is not None else n,
+            seed=derive_seed(seed, index),
+            max_interactions=max_interactions,
+            check_interval=check_interval,
+        )
+        if result.converged:
+            converged += 1
+            interactions.append(result.interactions)
+            times.append(result.parallel_time)
+    return TrialSummary(
+        label=label or protocol.name,
+        n=n,
+        trials=trials,
+        converged=converged,
+        interactions=interactions,
+        parallel_times=times,
+    )
+
+
+def format_table(rows: Sequence[dict[str, object]], title: str = "") -> str:
+    """Render aggregated rows as a fixed-width text table (bench output)."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    keys = list(rows[0].keys())
+    widths = {k: max(len(str(k)), max(len(str(row.get(k, ""))) for row in rows)) for k in keys}
+    header = "  ".join(str(k).ljust(widths[k]) for k in keys)
+    rule = "-" * len(header)
+    lines = [title, rule, header, rule] if title else [header, rule]
+    for row in rows:
+        lines.append("  ".join(str(row.get(k, "")).ljust(widths[k]) for k in keys))
+    lines.append(rule)
+    return "\n".join(lines)

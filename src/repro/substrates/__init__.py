@@ -1,0 +1,26 @@
+"""Standalone substrates used (and analysed) by the paper.
+
+* :mod:`repro.substrates.epidemics` -- one-way/two-way/min epidemics
+  (Lemma A.2, the broadcast workhorse of every sub-protocol);
+* :mod:`repro.substrates.load_balancing` -- the Berenbrink et al. token
+  load-balancing process coupled to message spreading in Lemma E.6;
+* :mod:`repro.substrates.synthetic_coin` -- the Appendix B derandomization
+  of the transition function's random sampling.
+"""
+
+from repro.substrates.epidemics import (
+    EpidemicProtocol,
+    MinEpidemicProtocol,
+    OneWayEpidemicProtocol,
+)
+from repro.substrates.load_balancing import LoadBalancingProcess
+from repro.substrates.synthetic_coin import SyntheticCoinPopulation, SyntheticCoinState
+
+__all__ = [
+    "EpidemicProtocol",
+    "OneWayEpidemicProtocol",
+    "MinEpidemicProtocol",
+    "LoadBalancingProcess",
+    "SyntheticCoinPopulation",
+    "SyntheticCoinState",
+]

@@ -1,0 +1,111 @@
+"""Epidemic (broadcast) primitives — the paper's Appendix A toolbox.
+
+Every sub-protocol of ``ElectLeader_r`` leans on *epidemics*: information
+that spreads from agent to agent on contact.  Lemma A.2 (via Lemma 2.9 of
+Burman et al.) states that there is a constant ``c_epi < 7`` such that any
+epidemic infects all agents within ``c_epi · n log n`` interactions w.h.p.
+Experiment E8 measures the empirical completion-time distribution and
+checks the ``n log n`` shape and the constant.
+
+Three variants, all standalone :class:`PopulationProtocol` instances:
+
+* :class:`EpidemicProtocol` — two-way infection: after a contact between
+  a marked and an unmarked agent, both are marked.
+* :class:`OneWayEpidemicProtocol` — only the *responder* can be infected
+  by the *initiator* (models directed broadcast).
+* :class:`MinEpidemicProtocol` — agents carry integers and both adopt the
+  minimum on contact (the ``MinIdentifier`` mechanism of FastLeaderElect,
+  Eq. 10, and the channel max-broadcast of AssignRanks up to sign).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.protocol import PopulationProtocol
+from repro.scheduler.rng import RNG
+
+
+@dataclass(slots=True)
+class MarkState:
+    """A single infection bit."""
+
+    marked: bool = False
+
+    def clone(self) -> "MarkState":
+        return MarkState(self.marked)
+
+
+class EpidemicProtocol(PopulationProtocol):
+    """Two-way epidemic: contact with a marked agent marks both."""
+
+    name = "epidemic-two-way"
+
+    def initial_state(self) -> MarkState:
+        return MarkState(False)
+
+    @staticmethod
+    def seeded_configuration(n: int, sources: int = 1) -> list[MarkState]:
+        """A configuration with the first ``sources`` agents marked."""
+        if not 1 <= sources <= n:
+            raise ValueError(f"need 1 <= sources <= n, got {sources}, n={n}")
+        return [MarkState(i < sources) for i in range(n)]
+
+    def transition(self, u: MarkState, v: MarkState, rng: RNG) -> None:
+        if u.marked or v.marked:
+            u.marked = True
+            v.marked = True
+
+    def output(self, state: MarkState) -> bool:
+        return state.marked
+
+    def is_goal_configuration(self, config: Sequence[MarkState]) -> bool:
+        """Complete = everyone infected."""
+        return all(s.marked for s in config)
+
+
+class OneWayEpidemicProtocol(EpidemicProtocol):
+    """One-way epidemic: the initiator infects the responder only."""
+
+    name = "epidemic-one-way"
+
+    def transition(self, u: MarkState, v: MarkState, rng: RNG) -> None:
+        if u.marked:
+            v.marked = True
+
+
+@dataclass(slots=True)
+class ValueState:
+    """An integer payload for min/max epidemics."""
+
+    value: int = 0
+
+    def clone(self) -> "ValueState":
+        return ValueState(self.value)
+
+
+class MinEpidemicProtocol(PopulationProtocol):
+    """Two-way min-epidemic over integer payloads."""
+
+    name = "epidemic-min"
+
+    def initial_state(self) -> ValueState:
+        return ValueState(0)
+
+    @staticmethod
+    def valued_configuration(values: Sequence[int]) -> list[ValueState]:
+        return [ValueState(int(v)) for v in values]
+
+    def transition(self, u: ValueState, v: ValueState, rng: RNG) -> None:
+        merged = min(u.value, v.value)
+        u.value = merged
+        v.value = merged
+
+    def output(self, state: ValueState) -> int:
+        return state.value
+
+    def is_goal_configuration(self, config: Sequence[ValueState]) -> bool:
+        """Complete = everyone agrees on the global minimum."""
+        target = min(s.value for s in config)
+        return all(s.value == target for s in config)

@@ -1,0 +1,104 @@
+"""Token load balancing — the substrate behind Lemma E.6.
+
+Lemma E.6 couples the spreading of refreshed collision-detection messages
+to the "Tight & Simple Load Balancing" process of Berenbrink, Friedetzky,
+Kaaser and Kling (IPDPS '19): every agent holds an integer number of
+tokens; when two agents interact they split their combined tokens as
+evenly as possible (the initiator keeping the extra token on odd totals).
+Theorem 1 of that paper gives a discrepancy of at most ``O(1)`` (here:
+everyone within {⌊avg⌋-1, ⌈avg⌉+1}, and in particular *nobody at zero*
+when the average is ≥ 1) after ``O(m log m)`` interactions w.h.p. — which
+is exactly what ``DetectCollision_r`` needs: once an agent refreshes the
+``Θ(r)`` messages it holds for its rank, load balancing puts at least one
+refreshed message in every other group member's hands fast.
+
+Experiment E9 measures the time for the process to leave no agent empty,
+starting from the maximally clumped configuration, and checks the
+``m log m`` shape.
+
+This module is a *process*, not a :class:`PopulationProtocol` instance:
+token counts are unbounded, which falls outside the finite-state model,
+but the coupling argument only needs the marginal interaction dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scheduler.rng import RNG
+
+
+@dataclass
+class LoadBalancingProcess:
+    """The averaging token process over ``m`` agents."""
+
+    loads: list[int] = field(default_factory=list)
+
+    @classmethod
+    def clumped(cls, m: int, tokens: int) -> "LoadBalancingProcess":
+        """All ``tokens`` tokens start at agent 0 (maximal discrepancy)."""
+        if m < 2:
+            raise ValueError("need at least two agents")
+        loads = [0] * m
+        loads[0] = tokens
+        return cls(loads)
+
+    @classmethod
+    def uniform(cls, m: int, per_agent: int) -> "LoadBalancingProcess":
+        return cls([per_agent] * m)
+
+    @property
+    def m(self) -> int:
+        return len(self.loads)
+
+    @property
+    def total(self) -> int:
+        return sum(self.loads)
+
+    def discrepancy(self) -> int:
+        """max load − min load."""
+        return max(self.loads) - min(self.loads)
+
+    def min_load(self) -> int:
+        return min(self.loads)
+
+    def step(self, rng: RNG) -> None:
+        """One interaction: a uniform pair splits its tokens evenly.
+
+        The initiator receives the ceiling half — the same deterministic
+        tie-break as ``BalanceLoad`` (Protocol 14), which hands the larger
+        half to the currently poorer agent; for the two-agent marginal the
+        processes couple exactly (proof of Lemma E.6).
+        """
+        m = self.m
+        i = rng.randrange(m)
+        j = rng.randrange(m - 1)
+        if j >= i:
+            j += 1
+        combined = self.loads[i] + self.loads[j]
+        half, extra = divmod(combined, 2)
+        self.loads[i] = half + extra
+        self.loads[j] = half
+
+    def run_until_covered(self, rng: RNG, max_interactions: int) -> int | None:
+        """Interactions until every agent holds ≥ 1 token, or None on budget.
+
+        This is the event Lemma E.6 needs ("X_t contains no zeros").
+        """
+        if self.total < self.m:
+            raise ValueError("cannot cover: fewer tokens than agents")
+        for t in range(max_interactions + 1):
+            if self.min_load() >= 1:
+                return t
+            self.step(rng)
+        return None
+
+    def run_until_balanced(
+        self, rng: RNG, max_interactions: int, target_discrepancy: int = 3
+    ) -> int | None:
+        """Interactions until discrepancy ≤ target, or None on budget."""
+        for t in range(max_interactions + 1):
+            if self.discrepancy() <= target_discrepancy:
+                return t
+            self.step(rng)
+        return None

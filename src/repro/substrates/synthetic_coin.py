@@ -1,0 +1,123 @@
+"""Synthetic coins — derandomizing the transition function (Appendix B).
+
+Population-protocol transition functions are deterministic; the only
+randomness is the scheduler's choice of pairs.  The paper's protocols are
+*presented* with agents sampling values (almost) u.a.r. from some ``[N]``;
+Lemma B.1 shows this is implementable with a ``O(N log N)`` state blow-up:
+
+* each agent keeps a bit ``Coin`` that it flips on **every** interaction,
+  so the population stays within ``(1/2 ± 1/(10 log N))·n`` agents per coin
+  value after ``O(n log N)`` interactions (Berenbrink, Friedetzky, Kaaser,
+  Kling);
+* each agent keeps a cyclic counter ``CoinCount`` (mod ``log N``) and an
+  array ``Coins`` of the last ``log N`` partner-coin observations;
+* whenever the protocol needs a sample from ``[N]``, the agent reads the
+  integer encoded by ``Coins`` — provided at least ``log N`` of its own
+  interactions passed since the previous read, the sample is fresh and
+  each value has probability in ``[1/(2N), 2/N]`` ("almost u.a.r.").
+
+Experiment E11 measures the empirical sampling distribution and checks the
+``[1/(2N), 2/N]`` envelope, and the coin-balance concentration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.scheduler.rng import RNG
+
+
+def bits_needed(value_space: int) -> int:
+    """``log2 N`` observation bits for sampling from ``[N]`` (N ≥ 2)."""
+    if value_space < 2:
+        raise ValueError(f"value space must be >= 2, got {value_space}")
+    return max(1, math.ceil(math.log2(value_space)))
+
+
+@dataclass(slots=True)
+class SyntheticCoinState:
+    """Per-agent synthetic-coin fields (Appendix B)."""
+
+    coin: int = 0
+    coins: list[int] = field(default_factory=list)
+    coin_count: int = 0
+
+    def clone(self) -> "SyntheticCoinState":
+        return SyntheticCoinState(self.coin, list(self.coins), self.coin_count)
+
+
+class SyntheticCoinPopulation:
+    """A population running only the synthetic-coin machinery.
+
+    The machinery normally piggybacks on a host protocol's interactions;
+    isolating it lets experiment E11 measure the sampling distribution
+    directly.  ``value_space`` is the ``N`` of Lemma B.1.
+    """
+
+    def __init__(self, n: int, value_space: int, rng: RNG):
+        if n < 2:
+            raise ValueError("need at least two agents")
+        self.n = n
+        self.value_space = value_space
+        self.k = bits_needed(value_space)
+        self._rng = rng
+        # Worst-case adversarial start: all coins equal (maximally biased).
+        self.states = [SyntheticCoinState(coin=0, coins=[0] * self.k) for _ in range(n)]
+
+    # ------------------------------------------------------------------
+
+    def interact(self, i: int, j: int) -> None:
+        """One interaction between agents ``i`` and ``j`` (Eqs. 4-7)."""
+        u, v = self.states[i], self.states[j]
+        u_coin_before, v_coin_before = u.coin, v.coin
+        for agent, partner_coin in ((u, v_coin_before), (v, u_coin_before)):
+            # Eq. 4: flip own coin on every interaction.
+            agent.coin = 1 - agent.coin
+            # Eq. 5: advance the cyclic counter.
+            agent.coin_count = (agent.coin_count + 1) % self.k
+            # Eqs. 6-7: record the partner's coin.
+            agent.coins[agent.coin_count] = partner_coin
+
+    def step(self) -> None:
+        """One uniformly random interaction."""
+        rng = self._rng
+        i = rng.randrange(self.n)
+        j = rng.randrange(self.n - 1)
+        if j >= i:
+            j += 1
+        self.interact(i, j)
+
+    def run(self, interactions: int) -> None:
+        for _ in range(interactions):
+            self.step()
+
+    # ------------------------------------------------------------------
+
+    def coin_balance(self) -> float:
+        """Fraction of agents with coin = 1 (→ 1/2 after O(n log N) steps)."""
+        return sum(s.coin for s in self.states) / self.n
+
+    def sample_value(self, agent: int) -> int:
+        """The ``[0, 2^k)`` value currently encoded by an agent's coin array.
+
+        Callers must respect Lemma B.1's freshness condition (≥ ``log N``
+        own interactions between reads) for consecutive samples to be
+        independent.
+        """
+        state = self.states[agent]
+        value = 0
+        for bit in state.coins:
+            value = (value << 1) | bit
+        return value
+
+    def collect_samples(self, reads: int, spacing_interactions: int) -> list[int]:
+        """Read every agent's encoded value ``reads`` times, spacing reads by
+        ``spacing_interactions`` global interactions (the experiment E11
+        harness).  Returns the pooled samples.
+        """
+        samples: list[int] = []
+        for _ in range(reads):
+            self.run(spacing_interactions)
+            samples.extend(self.sample_value(a) for a in range(self.n))
+        return samples

@@ -1,0 +1,19 @@
+"""Exhaustive small-population verification (bounded model checking)."""
+
+from repro.verify.model_check import (
+    ExplorationResult,
+    ForbiddenRNG,
+    check_closure,
+    check_goal_reachable_from_all,
+    check_invariant,
+    explore,
+)
+
+__all__ = [
+    "ExplorationResult",
+    "ForbiddenRNG",
+    "explore",
+    "check_invariant",
+    "check_closure",
+    "check_goal_reachable_from_all",
+]

@@ -1,0 +1,214 @@
+"""Exhaustive exploration of population-protocol configuration graphs.
+
+The population model's correctness notions quantify over *all* interaction
+sequences: a configuration set is *safe* if no sequence leaves it
+(closure), and the protocol stabilizes with probability 1 iff from every
+reachable configuration some sequence reaches the goal set (under the
+uniform scheduler, reachability of an absorbing goal from everywhere
+implies almost-sure convergence).  At tiny population sizes these are
+finite-graph properties that can be checked *exhaustively* — a much
+stronger guarantee than any number of random trials.
+
+This module applies to protocols whose transition function is
+**deterministic** (consumes no RNG): the baselines, the substrates,
+``PropagateReset`` and — crucially — the Appendix-B **derandomized**
+collision detection, whose whole point is that δ needs no randomness.
+:class:`ForbiddenRNG` enforces the requirement at runtime.
+
+Agents are anonymous, so configurations are *multisets* of states; we
+canonicalize to sorted tuples of state-keys, which typically shrinks the
+graph by a factor of ``n!``.
+
+Usage::
+
+    result = explore(protocol, [initial_config], key=my_key, max_configs=100_000)
+    assert result.complete                       # frontier exhausted: exact
+    assert check_invariant(result, no_top)       # holds on EVERY reachable config
+    assert check_goal_reachable_from_all(result, is_goal)   # a.s. convergence
+    assert check_closure(protocol, goal_configs, key)       # goal set closed
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.protocol import PopulationProtocol
+
+#: Canonical hashable key of one agent state.
+StateKey = Callable[[Any], Any]
+#: Predicate on a (live, decoded) configuration.
+ConfigTest = Callable[[Sequence[Any]], bool]
+
+
+class ForbiddenRNG:
+    """An RNG stand-in that fails loudly if the transition samples.
+
+    Exhaustive exploration is only sound for deterministic δ; passing this
+    object guarantees any hidden randomness surfaces as an error instead
+    of silently truncating the configuration graph.
+    """
+
+    def _refuse(self, *args: Any, **kwargs: Any) -> Any:
+        raise RuntimeError(
+            "transition function consumed randomness during model checking; "
+            "exhaustive exploration requires a deterministic protocol"
+        )
+
+    randrange = _refuse
+    random = _refuse
+    randint = _refuse
+    choice = _refuse
+    sample = _refuse
+    shuffle = _refuse
+
+
+@dataclass
+class ExplorationResult:
+    """The (possibly truncated) reachable configuration graph."""
+
+    #: canonical config -> list of canonical successor configs
+    graph: dict[tuple, list[tuple]]
+    #: canonical forms of the supplied initial configurations
+    initial: list[tuple]
+    #: True iff the frontier was exhausted (exact reachable set)
+    complete: bool
+    #: decoded representative for each canonical config
+    representatives: dict[tuple, list[Any]] = field(repr=False, default_factory=dict)
+
+    @property
+    def explored(self) -> int:
+        return len(self.graph)
+
+    def configurations(self) -> Iterable[list[Any]]:
+        """Decoded representative of every explored configuration."""
+        return self.representatives.values()
+
+
+def _canonical(config: Sequence[Any], key: StateKey) -> tuple:
+    return tuple(sorted(key(state) for state in config))
+
+
+def explore(
+    protocol: PopulationProtocol,
+    initial_configs: Sequence[Sequence[Any]],
+    key: StateKey,
+    max_configs: int = 100_000,
+    clone: Callable[[Any], Any] = lambda state: state.clone(),
+) -> ExplorationResult:
+    """BFS over the configuration multiset graph.
+
+    ``key`` must be injective on reachable states (two states with equal
+    keys are treated as identical).  Exploration is exact if it terminates
+    before ``max_configs`` distinct configurations; otherwise
+    ``result.complete`` is False and downstream checks weaken to
+    bounded-model-checking statements.
+    """
+    rng = ForbiddenRNG()
+    graph: dict[tuple, list[tuple]] = {}
+    representatives: dict[tuple, list[Any]] = {}
+    queue: deque[tuple] = deque()
+    initial = []
+    for config in initial_configs:
+        canon = _canonical(config, key)
+        initial.append(canon)
+        if canon not in representatives:
+            representatives[canon] = [clone(state) for state in config]
+            queue.append(canon)
+
+    complete = True
+    while queue:
+        canon = queue.popleft()
+        if canon in graph:
+            continue
+        if len(graph) >= max_configs:
+            complete = False
+            break
+        base = representatives[canon]
+        n = len(base)
+        successors: list[tuple] = []
+        seen_successors: set[tuple] = set()
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                working = [clone(state) for state in base]
+                protocol.transition(working[i], working[j], rng)  # type: ignore[arg-type]
+                next_canon = _canonical(working, key)
+                if next_canon not in seen_successors:
+                    seen_successors.add(next_canon)
+                    successors.append(next_canon)
+                if next_canon not in representatives:
+                    representatives[next_canon] = working
+                    queue.append(next_canon)
+        graph[canon] = successors
+
+    return ExplorationResult(
+        graph=graph,
+        initial=initial,
+        complete=complete,
+        representatives=representatives,
+    )
+
+
+def check_invariant(result: ExplorationResult, invariant: ConfigTest) -> list[list[Any]]:
+    """Configurations violating the invariant (empty list = invariant holds
+    on every explored configuration)."""
+    violations = []
+    for canon in result.graph:
+        config = result.representatives[canon]
+        if not invariant(config):
+            violations.append(config)
+    return violations
+
+
+def check_goal_reachable_from_all(
+    result: ExplorationResult, goal: ConfigTest
+) -> list[list[Any]]:
+    """Configurations from which NO path reaches the goal set.
+
+    Empty result + ``result.complete`` ⇒ the goal is reachable from every
+    reachable configuration, which under the uniform random scheduler
+    gives almost-sure convergence (the paper's probabilistic
+    stabilization) provided the goal set is closed.
+    """
+    goal_canons = {
+        canon
+        for canon in result.graph
+        if goal(result.representatives[canon])
+    }
+    # Reverse reachability from the goal set.
+    reverse: dict[tuple, list[tuple]] = {canon: [] for canon in result.graph}
+    for canon, successors in result.graph.items():
+        for successor in successors:
+            if successor in reverse:
+                reverse[successor].append(canon)
+    reached = set(goal_canons)
+    frontier = deque(goal_canons)
+    while frontier:
+        canon = frontier.popleft()
+        for predecessor in reverse[canon]:
+            if predecessor not in reached:
+                reached.add(predecessor)
+                frontier.append(predecessor)
+    return [
+        result.representatives[canon]
+        for canon in result.graph
+        if canon not in reached
+    ]
+
+
+def check_closure(
+    protocol: PopulationProtocol,
+    configs: Sequence[Sequence[Any]],
+    key: StateKey,
+    member: ConfigTest,
+    clone: Callable[[Any], Any] = lambda state: state.clone(),
+    max_configs: int = 100_000,
+) -> list[list[Any]]:
+    """Explore from ``configs`` and return explored configurations OUTSIDE
+    the member set — empty iff the set is closed under all schedules
+    (within the exploration bound)."""
+    result = explore(protocol, configs, key, max_configs=max_configs, clone=clone)
+    return check_invariant(result, member)

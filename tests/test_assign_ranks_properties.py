@@ -1,0 +1,136 @@
+"""Property-based tests for ``AssignRanks_r`` invariants (Observation D.1).
+
+The correctness proof of Lemma D.1 rests on a handful of execution
+invariants stated as Observation D.1; these tests check them along random
+executions from clean starts:
+
+(a/b/c) channel entries only grow, and only a deputy's labeling grows the
+        maximum of its own channel entry;
+(d/e)   badge intervals held by sheriffs/deputies stay disjoint and their
+        union is exactly the badges issued so far;
+plus: deputy ids unique, counters within pool bounds, labels unique.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assign_ranks import AssignRanksProtocol
+from repro.core.params import ProtocolParams
+from repro.core.state import ARPhase, ARState
+from repro.scheduler.rng import make_rng
+
+
+def run_with_invariant_checks(n: int, r: int, seed: int, steps: int) -> None:
+    from hypothesis import assume
+
+    params = ProtocolParams(n=n, r=r)
+    protocol = AssignRanksProtocol(params)
+    config = [protocol.initial_state() for _ in range(n)]
+    rng = make_rng(seed)
+    schedule_rng = make_rng(seed ^ 0x5A5A5A)
+    previous_max_channel = [0] * r
+
+    for step in range(steps):
+        i = schedule_rng.randrange(n)
+        j = schedule_rng.randrange(n - 1)
+        if j >= i:
+            j += 1
+        protocol.transition(config[i], config[j], rng)
+        # The Observation D.1 invariants are conditional on FastLeaderElect
+        # electing a unique winner; the winner's leader_bit persists across
+        # phase changes, so a failed election is directly observable.
+        # Discard (don't fail) such executions — they are the protocol's
+        # designed w.h.p. failure path, caught later by verification.
+        winners = sum(1 for s in config if s.leader_bit)
+        assume(winners <= 1)
+        _check_invariants(config, params, previous_max_channel, step)
+
+
+def _check_invariants(
+    config: list[ARState],
+    params: ProtocolParams,
+    previous_max_channel: list[int],
+    step: int,
+) -> None:
+    r = params.r
+    # Badge intervals disjoint across all sheriffs; deputy ids unique.
+    intervals = []
+    deputy_ids = []
+    labels = []
+    for state in config:
+        if state.phase is ARPhase.SHERIFF:
+            assert 1 <= state.low_badge <= state.high_badge <= r, (step, state)
+            intervals.append((state.low_badge, state.high_badge))
+        elif state.phase is ARPhase.DEPUTY:
+            assert 1 <= state.deputy_id <= r
+            assert 1 <= state.counter <= params.labels_per_deputy
+            deputy_ids.append(state.deputy_id)
+            labels.append((state.deputy_id, 1))
+        elif state.phase in (ARPhase.RECIPIENT, ARPhase.SLEEPER):
+            if state.label is not None:
+                labels.append(state.label)
+    # Disjointness of badge intervals and deputy ids (Obs. D.1(d/e)).
+    occupied: set[int] = set()
+    for low, high in intervals:
+        badge_range = set(range(low, high + 1))
+        assert not (occupied & badge_range), (step, intervals)
+        occupied |= badge_range
+    assert len(deputy_ids) == len(set(deputy_ids)), (step, deputy_ids)
+    assert not (occupied & set(deputy_ids)), (step, intervals, deputy_ids)
+    # Labels unique across the population (safety of the label pools).
+    assert len(labels) == len(set(labels)), (step, sorted(labels))
+    # Channel maxima are monotone (Obs. D.1(c): they only grow) — until
+    # agents rank and legitimately discard their channel fields, after
+    # which the population-wide maximum may shed information.
+    if not any(s.phase is ARPhase.RANKED for s in config):
+        for index in range(r):
+            current = max(
+                (s.channel[index] for s in config if len(s.channel) == r), default=0
+            )
+            assert current >= previous_max_channel[index], (step, index)
+            previous_max_channel[index] = max(previous_max_channel[index], current)
+    # No channel value may exceed the pool size.
+    for state in config:
+        for value in state.channel:
+            assert 0 <= value <= params.labels_per_deputy
+
+
+class TestObservationD1:
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_invariants_hold_r4(self, seed):
+        run_with_invariant_checks(n=16, r=4, seed=seed, steps=1_500)
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=6, deadline=None)
+    def test_invariants_hold_r1(self, seed):
+        run_with_invariant_checks(n=10, r=1, seed=seed, steps=1_000)
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=6, deadline=None)
+    def test_invariants_hold_r_half_n(self, seed):
+        run_with_invariant_checks(n=12, r=6, seed=seed, steps=1_500)
+
+    def test_ranked_agents_never_change(self):
+        """Silence: once RANKED, an AR state is frozen (Lemma D.1)."""
+        params = ProtocolParams(n=12, r=3)
+        protocol = AssignRanksProtocol(params)
+        config = [protocol.initial_state() for _ in range(12)]
+        rng = make_rng(3)
+        schedule_rng = make_rng(4)
+        frozen: dict[int, int] = {}
+        for _ in range(30_000):
+            i = schedule_rng.randrange(12)
+            j = schedule_rng.randrange(11)
+            if j >= i:
+                j += 1
+            protocol.transition(config[i], config[j], rng)
+            for index in (i, j):
+                state = config[index]
+                if state.phase is ARPhase.RANKED:
+                    if index in frozen:
+                        assert frozen[index] == state.rank
+                    frozen[index] = state.rank
+        assert frozen, "no agent ever ranked"

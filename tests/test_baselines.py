@@ -1,0 +1,174 @@
+"""Tests for the baseline protocols (Section 2 comparators)."""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.baselines.cai_izumi_wada import CaiIzumiWada, CIWState
+from repro.baselines.nonss_leader import PairwiseElimination
+from repro.baselines.silent_ssr import BurmanStyleSSR
+from repro.core.params import BaselineParams
+from repro.scheduler.rng import derive_seed, make_rng
+from repro.sim.simulation import Simulation
+
+
+class TestCaiIzumiWada:
+    def test_bump_rule(self, baseline_params, rng):
+        protocol = CaiIzumiWada(baseline_params)
+        u, v = CIWState(3), CIWState(3)
+        protocol.transition(u, v, rng)
+        assert (u.rank, v.rank) == (3, 4)
+
+    def test_bump_wraps(self, baseline_params, rng):
+        protocol = CaiIzumiWada(baseline_params)
+        u, v = CIWState(16), CIWState(16)
+        protocol.transition(u, v, rng)
+        assert v.rank == 1
+
+    def test_distinct_ranks_silent(self, baseline_params, rng):
+        protocol = CaiIzumiWada(baseline_params)
+        u, v = CIWState(3), CIWState(7)
+        protocol.transition(u, v, rng)
+        assert (u.rank, v.rank) == (3, 7)
+
+    def test_stabilizes_from_clean_start(self, baseline_params):
+        protocol = CaiIzumiWada(baseline_params)
+        sim = Simulation(protocol, n=16, seed=1)
+        result = sim.run_until(
+            protocol.is_silent_configuration, max_interactions=5_000_000, check_interval=100
+        )
+        assert result.converged
+        assert protocol.ranking_correct(result.config)
+        assert protocol.leader_count(result.config) == 1
+
+    def test_stabilizes_from_adversarial_start(self, baseline_params):
+        protocol = CaiIzumiWada(baseline_params)
+        for trial in range(5):
+            config = protocol.adversarial_configuration(make_rng(derive_seed(1, trial)))
+            sim = Simulation(protocol, config=config, seed=derive_seed(2, trial))
+            result = sim.run_until(
+                protocol.is_silent_configuration,
+                max_interactions=5_000_000,
+                check_interval=100,
+            )
+            assert result.converged
+
+    def test_silence_is_absorbing(self, baseline_params):
+        protocol = CaiIzumiWada(baseline_params)
+        config = [CIWState(rank) for rank in range(1, 17)]
+        sim = Simulation(protocol, config=config, seed=3)
+        sim.run(5_000)
+        assert sorted(s.rank for s in sim.config) == list(range(1, 17))
+
+
+class TestBurmanStyleSSR:
+    def test_clean_start_ranks_correctly(self):
+        params = BaselineParams(n=24)
+        protocol = BurmanStyleSSR(params)
+        sim = Simulation(protocol, n=24, seed=4)
+        result = sim.run_until(
+            protocol.ranked_and_correct, max_interactions=2_000_000, check_interval=100
+        )
+        assert result.converged
+        assert protocol.leader_count(result.config) == 1
+
+    def test_time_is_n_log_n_shape(self):
+        """Clean-start stabilization should scale near n log n."""
+        import math
+
+        medians = []
+        for n in (32, 128):
+            params = BaselineParams(n=n)
+            protocol = BurmanStyleSSR(params)
+            times = []
+            for trial in range(5):
+                sim = Simulation(protocol, n=n, seed=derive_seed(40, trial))
+                result = sim.run_until(
+                    protocol.ranked_and_correct,
+                    max_interactions=5_000_000,
+                    check_interval=100,
+                )
+                assert result.converged
+                times.append(result.interactions)
+            medians.append(statistics.median(times))
+        ratio = medians[1] / medians[0]
+        predicted = (128 * math.log(128)) / (32 * math.log(32))
+        assert ratio < 3 * predicted
+
+    def test_recovers_from_adversarial_start(self):
+        params = BaselineParams(n=16)
+        protocol = BurmanStyleSSR(params)
+        for trial in range(5):
+            config = protocol.adversarial_configuration(make_rng(derive_seed(5, trial)))
+            sim = Simulation(protocol, config=config, seed=derive_seed(6, trial))
+            result = sim.run_until(
+                protocol.ranked_and_correct,
+                max_interactions=10_000_000,
+                check_interval=500,
+            )
+            assert result.converged, f"trial {trial}"
+
+    def test_duplicate_names_trigger_reset(self, rng):
+        params = BaselineParams(n=8)
+        protocol = BurmanStyleSSR(params)
+        u = protocol.initial_state()
+        v = protocol.initial_state()
+        u.name = v.name = 42
+        u.seen = v.seen = {42}
+        protocol.transition(u, v, rng)
+        assert u.resetting
+
+    def test_oversized_seen_set_triggers_reset(self, rng):
+        params = BaselineParams(n=4)
+        protocol = BurmanStyleSSR(params)
+        u = protocol.initial_state()
+        v = protocol.initial_state()
+        u.name, v.name = 1, 2
+        u.seen = {1, 10, 11, 12}
+        v.seen = {2, 20, 21, 22}
+        protocol.transition(u, v, rng)
+        assert u.resetting
+
+    def test_ranks_assigned_lexicographically(self, rng):
+        params = BaselineParams(n=2)
+        protocol = BurmanStyleSSR(params)
+        u = protocol.initial_state()
+        v = protocol.initial_state()
+        u.name, v.name = 5, 3
+        u.seen, v.seen = {5}, {3}
+        protocol.transition(u, v, rng)
+        assert v.rank == 1 and u.rank == 2
+
+
+class TestPairwiseElimination:
+    def test_elimination_rule(self, rng):
+        protocol = PairwiseElimination(4)
+        u = protocol.initial_state()
+        v = protocol.initial_state()
+        protocol.transition(u, v, rng)
+        assert u.leader and not v.leader
+
+    def test_no_resurrection(self, rng):
+        protocol = PairwiseElimination(4)
+        u = protocol.initial_state()
+        v = protocol.initial_state()
+        v.leader = False
+        protocol.transition(u, v, rng)
+        protocol.transition(v, u, rng)
+        assert u.leader and not v.leader
+
+    def test_not_self_stabilizing_from_zero_leaders(self):
+        """The documented failure mode: no leaders → stuck forever."""
+        protocol = PairwiseElimination(8)
+        config = [protocol.initial_state() for _ in range(8)]
+        for state in config:
+            state.leader = False
+        sim = Simulation(protocol, config=config, seed=7)
+        result = sim.run_until(protocol.is_goal_configuration, max_interactions=20_000)
+        assert not result.converged
+
+    def test_converges_from_all_leaders(self):
+        protocol = PairwiseElimination(32)
+        sim = Simulation(protocol, n=32, seed=8)
+        result = sim.run_until(protocol.is_goal_configuration, max_interactions=500_000)
+        assert result.converged

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.n == 32 and args.r == 4 and args.seed == 0
+
+    def test_recover_requires_known_adversary(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recover", "unknown-adversary"])
+
+    def test_statespace_sizes(self):
+        args = build_parser().parse_args(["statespace", "--sizes", "8", "16"])
+        assert args.sizes == [8, 16]
+
+
+class TestCommands:
+    def test_run_stabilizes(self, capsys):
+        code = main(["run", "-n", "12", "-r", "3", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stabilized after" in out
+        assert "leaders: 1" in out
+
+    def test_recover_from_adversary(self, capsys):
+        code = main(
+            ["recover", "all_duplicate_rank", "-n", "12", "-r", "3", "--seed", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stabilized after" in out
+        assert "ranking_correct: True" in out
+
+    def test_recover_failure_exit_code(self, capsys):
+        code = main(
+            [
+                "recover", "all_duplicate_rank", "-n", "12", "-r", "3",
+                "--seed", "2", "--max-interactions", "10",
+            ]
+        )
+        assert code == 1
+
+    def test_statespace_table(self, capsys):
+        code = main(["statespace", "--sizes", "16", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ciw_bits" in out and "ours_rmax_bits" in out
+
+    def test_tradeoff_table(self, capsys):
+        code = main(["tradeoff", "-n", "12", "--trials", "2", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "state_bits" in out
+        assert "r=" not in out  # labels are numeric rows, not prefixed

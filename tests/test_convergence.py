@@ -1,0 +1,150 @@
+"""Tests for convergence predicates, silence detection and replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.cai_izumi_wada import CaiIzumiWada, CIWState
+from repro.baselines.nonss_leader import PairwiseElimination
+from repro.core.params import BaselineParams
+from repro.scheduler.rng import make_rng
+from repro.scheduler.scheduler import RecordedSchedule
+from repro.sim.convergence import (
+    SilenceDetector,
+    all_of,
+    any_of,
+    correct_ranking,
+    run_to_silence,
+    unique_leader,
+)
+from repro.sim.replay import reachable_via, record_and_replay_matches, replay
+from repro.sim.simulation import Simulation
+
+
+class TestPredicates:
+    def test_unique_leader(self):
+        protocol = PairwiseElimination(4)
+        config = [protocol.initial_state() for _ in range(4)]
+        assert not unique_leader(protocol)(config)
+        for state in config[1:]:
+            state.leader = False
+        assert unique_leader(protocol)(config)
+
+    def test_correct_ranking(self):
+        protocol = CaiIzumiWada(BaselineParams(n=4))
+        good = [CIWState(r) for r in (2, 4, 1, 3)]
+        bad = [CIWState(r) for r in (1, 1, 2, 3)]
+        assert correct_ranking(protocol)(good)
+        assert not correct_ranking(protocol)(bad)
+
+    def test_all_of_and_any_of(self):
+        always = lambda config: True
+        never = lambda config: False
+        assert all_of(always, always)([])
+        assert not all_of(always, never)([])
+        assert any_of(never, always)([])
+        assert not any_of(never, never)([])
+
+
+class TestSilence:
+    def test_detector_tracks_changes(self):
+        protocol = CaiIzumiWada(BaselineParams(n=4))
+        config = [CIWState(1) for _ in range(4)]  # maximally colliding
+        sim = Simulation(protocol, config=config, seed=1)
+        detector = SilenceDetector()
+        sim.observers.append(detector.observe)
+        sim.run(5)
+        # Early on, collisions keep changing states: quiet window is short.
+        assert detector.quiet_interactions(sim) <= 5
+
+    def test_run_to_silence_on_ciw(self):
+        protocol = CaiIzumiWada(BaselineParams(n=8))
+        sim, silent = run_to_silence(
+            protocol, n=8, seed=2, window=2_000, max_interactions=2_000_000
+        )
+        assert silent
+        # Silence for CIW means the ranking is a permutation.
+        assert protocol.is_silent_configuration(sim.config)
+
+    def test_run_to_silence_budget(self):
+        protocol = CaiIzumiWada(BaselineParams(n=8))
+        config = [CIWState(1) for _ in range(8)]
+        sim, silent = run_to_silence(
+            protocol, config=config, seed=3, window=1_000, max_interactions=50
+        )
+        assert not silent
+
+
+class TestReplay:
+    def test_replay_applies_schedule(self):
+        protocol = PairwiseElimination(3)
+        config = [protocol.initial_state() for _ in range(3)]
+        replay(protocol, config, [(0, 1), (0, 2)])
+        assert [s.leader for s in config] == [True, False, False]
+
+    def test_replay_validates_indices(self):
+        protocol = PairwiseElimination(3)
+        config = [protocol.initial_state() for _ in range(3)]
+        with pytest.raises(ValueError):
+            replay(protocol, config, [(0, 5)])
+
+    def test_replay_on_step_callback(self):
+        protocol = PairwiseElimination(3)
+        config = [protocol.initial_state() for _ in range(3)]
+        steps = []
+        replay(protocol, config, [(0, 1), (1, 2)], on_step=lambda s, i, j: steps.append((s, i, j)))
+        assert steps == [(0, 0, 1), (1, 1, 2)]
+
+    def test_reachability_along_schedule(self):
+        protocol = PairwiseElimination(3)
+        start = [protocol.initial_state() for _ in range(3)]
+        schedule = [(0, 1), (0, 2)]
+        assert reachable_via(
+            protocol, start, schedule, lambda cfg: protocol.leader_count(cfg) == 1
+        )
+
+    def test_record_and_replay_determinism_elect_leader(self, small_protocol):
+        """The full protocol is deterministic given (config, schedule, seed)."""
+        assert record_and_replay_matches(
+            small_protocol,
+            make_config=lambda: [small_protocol.initial_state() for _ in range(8)],
+            n=8,
+            steps=300,
+            seed=5,
+        )
+
+
+class TestEventCounters:
+    def test_hard_and_soft_resets_counted(self, small_protocol):
+        from repro.adversary.initializers import all_duplicate_rank, corrupted_messages
+
+        small_protocol.reset_events()
+        # Duplicate-leader population ⇒ at least one hard reset on the way.
+        config = all_duplicate_rank(small_protocol, make_rng(1), rank=1)
+        sim = Simulation(small_protocol, config=config, seed=2)
+        sim.run_until(
+            small_protocol.is_safe_configuration,
+            max_interactions=5_000_000,
+            check_interval=2_000,
+        )
+        assert small_protocol.events["hard_reset"] >= 1
+
+        # Corrupted messages with expired probation ⇒ soft resets.
+        small_protocol.reset_events()
+        config = corrupted_messages(small_protocol, make_rng(3), corruptions=3)
+        for agent in config:
+            agent.sv.probation_timer = 0
+        sim = Simulation(small_protocol, config=config, seed=4)
+        result = sim.run_until(
+            small_protocol.is_safe_configuration,
+            max_interactions=5_000_000,
+            check_interval=2_000,
+        )
+        assert result.converged
+        assert small_protocol.events["soft_reset"] >= 1
+        assert small_protocol.events["hard_reset"] == 0
+
+    def test_reset_events_clears(self, small_protocol):
+        small_protocol.events["hard_reset"] = 5
+        small_protocol.reset_events()
+        assert small_protocol.events["hard_reset"] == 0

@@ -1,0 +1,101 @@
+"""Tests for the derandomized collision detection (Appendix B integration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.derandomized import (
+    CoinBackedSampler,
+    DerandomizedDCState,
+    DerandomizedDetectCollisionProtocol,
+)
+from repro.core.params import ProtocolParams
+from repro.scheduler.rng import derive_seed, make_rng
+from repro.sim.simulation import Simulation
+from repro.substrates.synthetic_coin import SyntheticCoinState
+
+
+class TestCoinBackedSampler:
+    def test_reads_coin_array(self):
+        sampler = CoinBackedSampler(SyntheticCoinState(coins=[1, 0, 1]))
+        assert sampler.randrange(8) == 0b101
+
+    def test_modular_fold(self):
+        sampler = CoinBackedSampler(SyntheticCoinState(coins=[1, 1, 1]))
+        assert sampler.randrange(5) == 7 % 5
+
+    def test_start_stop_form(self):
+        sampler = CoinBackedSampler(SyntheticCoinState(coins=[0, 1, 0]))
+        assert sampler.randrange(1, 9) == 1 + 2
+
+    def test_empty_range_rejected(self):
+        sampler = CoinBackedSampler(SyntheticCoinState(coins=[0]))
+        with pytest.raises(ValueError):
+            sampler.randrange(3, 3)
+
+    def test_values_always_in_range(self):
+        coin = SyntheticCoinState(coins=[1, 1, 0, 1, 0, 1, 1])
+        sampler = CoinBackedSampler(coin)
+        for span in (2, 3, 7, 100):
+            assert 0 <= sampler.randrange(span) < span
+
+
+class TestProtocol:
+    def make(self, n: int = 12, r: int = 3) -> DerandomizedDetectCollisionProtocol:
+        return DerandomizedDetectCollisionProtocol(ProtocolParams(n=n, r=r))
+
+    def test_transition_ignores_external_rng(self):
+        """The defining property: δ is deterministic given the schedule."""
+        protocol = self.make()
+        config_a = protocol.clean_configuration(12)
+        config_b = protocol.clean_configuration(12)
+        rng_a, rng_b = make_rng(1), make_rng(999)  # wildly different streams
+        schedule = [(0, 1), (2, 3), (1, 2), (0, 5), (4, 7), (6, 8)] * 50
+        for i, j in schedule:
+            protocol.transition(config_a[i], config_a[j], rng_a)
+            protocol.transition(config_b[i], config_b[j], rng_b)
+        for a, b in zip(config_a, config_b):
+            assert a.dc == b.dc
+            assert a.coin.coins == b.coin.coins
+
+    def test_coins_update_on_interaction(self):
+        protocol = self.make()
+        config = protocol.clean_configuration(12)
+        protocol.transition(config[0], config[1], make_rng(0))
+        assert config[0].coin.coin == 1
+        assert config[1].coin.coin == 1
+
+    def test_soundness_long_run(self):
+        """No false positives from q0 on a correct ranking — even with the
+        coin-backed (initially fully correlated) signatures."""
+        protocol = self.make()
+        config = protocol.clean_configuration(12)
+        sim = Simulation(protocol, config=config, seed=3)
+        sim.run(30_000)
+        assert not protocol.error_detected(sim.config)
+
+    def test_completeness_duplicate_rank(self):
+        """Duplicated ranks are still detected without external randomness."""
+        protocol = self.make()
+        detected = 0
+        for trial in range(5):
+            config = protocol.clean_configuration(12)
+            config[0] = protocol.state_for_rank(2)
+            sim = Simulation(protocol, config=config, seed=derive_seed(60, trial))
+            result = sim.run_until(
+                protocol.error_detected, max_interactions=1_000_000, check_interval=100
+            )
+            detected += bool(result.converged)
+        assert detected == 5
+
+    def test_non_uniform_population_check(self):
+        protocol = self.make(n=12)
+        with pytest.raises(ValueError):
+            protocol.clean_configuration(10)
+
+    def test_state_clone_independent(self):
+        protocol = self.make()
+        state = protocol.state_for_rank(3)
+        copy = state.clone()
+        copy.coin.coins[0] = 1
+        assert state.coin.coins[0] == 0

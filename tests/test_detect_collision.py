@@ -1,0 +1,291 @@
+"""Tests for ``DetectCollision_r`` (Section 5.1, Lemma E.1)."""
+
+from __future__ import annotations
+
+from repro.core.detect_collision import (
+    DetectCollisionProtocol,
+    balance_load,
+    check_message_consistency,
+    detect_collision,
+    has_duplicate_message,
+    initial_dc_state,
+    message_block,
+    message_system_consistent,
+    update_messages,
+)
+from repro.core.params import ProtocolParams
+from repro.core.partition import RankPartition
+from repro.core.state import TOP, DCState
+from repro.scheduler.rng import derive_seed, make_rng
+from repro.sim.simulation import Simulation
+
+
+def setup(n: int = 12, r: int = 3) -> tuple[ProtocolParams, RankPartition]:
+    params = ProtocolParams(n=n, r=r)
+    return params, RankPartition(n, r)
+
+
+class TestMessageBlock:
+    def test_blocks_partition_ids(self):
+        for group_size, total in [(1, 8), (3, 18), (4, 32), (5, 17)]:
+            covered = []
+            for position in range(1, group_size + 1):
+                covered.extend(message_block(position, group_size, total))
+            assert sorted(covered) == list(range(1, total + 1))
+
+    def test_blocks_nearly_equal(self):
+        sizes = [len(message_block(p, 5, 17)) for p in range(1, 6)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestInitialState:
+    def test_initial_contents_all_one(self):
+        params, partition = setup()
+        dc = initial_dc_state(1, params, partition)
+        assert dc.signature == 1
+        assert dc.counter == 1
+        assert all(v == 1 for v in dc.observations)
+        assert all(c == 1 for ids in dc.msgs.values() for c in ids.values())
+
+    def test_initial_state_holds_block_for_every_group_rank(self):
+        params, partition = setup()
+        dc = initial_dc_state(2, params, partition)
+        group = partition.group_of(2)
+        assert set(dc.msgs.keys()) == set(partition.group_ranks(group))
+
+    def test_clean_group_is_globally_consistent(self):
+        params, partition = setup()
+        pairs = [(rank, initial_dc_state(rank, params, partition)) for rank in range(1, 13)]
+        assert message_system_consistent(pairs, params, partition)
+
+    def test_own_held_messages_match_observations(self):
+        """The paper's state-space restriction holds at q0."""
+        params, partition = setup()
+        for rank in range(1, 13):
+            dc = initial_dc_state(rank, params, partition)
+            for msg_id, content in dc.msgs.get(rank, {}).items():
+                assert content == dc.observations[msg_id - 1]
+
+
+class TestObviousCollisions:
+    def test_same_rank_raises_top(self, rng):
+        params, partition = setup()
+        a = initial_dc_state(1, params, partition)
+        b = initial_dc_state(1, params, partition)
+        new_a, new_b = detect_collision(1, a, 1, b, params, partition, rng)
+        assert new_a is TOP and new_b is TOP
+
+    def test_duplicate_message_raises_top(self, rng):
+        params, partition = setup()
+        a = initial_dc_state(1, params, partition)
+        b = initial_dc_state(2, params, partition)
+        # Plant a copy of one of a's held messages into b.
+        msg_id = next(iter(a.msgs[1]))
+        b.msgs.setdefault(1, {})[msg_id] = a.msgs[1][msg_id]
+        new_a, new_b = detect_collision(1, a, 2, b, params, partition, rng)
+        assert new_a is TOP and new_b is TOP
+
+    def test_has_duplicate_message_helper(self):
+        a = DCState(msgs={1: {1: 5}})
+        b = DCState(msgs={1: {1: 9}})
+        c = DCState(msgs={1: {2: 9}})
+        assert has_duplicate_message(a, b)
+        assert not has_duplicate_message(a, c)
+
+    def test_cross_group_interaction_is_noop(self, rng):
+        params, partition = setup()
+        a = initial_dc_state(1, params, partition)
+        b = initial_dc_state(12, params, partition)
+        assert not partition.same_group(1, 12)
+        snapshot = (a.clone(), b.clone())
+        new_a, new_b = detect_collision(1, a, 12, b, params, partition, rng)
+        assert new_a is a and new_b is b
+        assert a == snapshot[0] and b == snapshot[1]
+
+    def test_top_inputs_absorbing(self, rng):
+        params, partition = setup()
+        b = initial_dc_state(2, params, partition)
+        new_a, new_b = detect_collision(1, TOP, 2, b, params, partition, rng)
+        assert new_a is TOP
+        assert new_b is b
+
+
+class TestConsistencyCheck:
+    def test_conflicting_content_detected(self, rng):
+        params, partition = setup()
+        a = initial_dc_state(1, params, partition)
+        b = initial_dc_state(2, params, partition)
+        # b carries a message governed by rank 1 whose content disagrees
+        # with rank-1's observation.
+        msg_id = next(iter(b.msgs[1]))
+        b.msgs[1][msg_id] = 999
+        new_a, new_b = detect_collision(1, a, 2, b, params, partition, rng)
+        assert new_a is TOP and new_b is TOP
+
+    def test_check_helper_direct(self):
+        owner = DCState(observations=[5, 5])
+        other = DCState(msgs={3: {1: 5, 2: 7}})
+        assert check_message_consistency(3, owner, other)
+        other_ok = DCState(msgs={3: {1: 5, 2: 5}})
+        assert not check_message_consistency(3, owner, other_ok)
+
+    def test_check_ignores_messages_of_other_ranks(self):
+        owner = DCState(observations=[5])
+        other = DCState(msgs={4: {1: 999}})
+        assert not check_message_consistency(3, owner, other)
+
+
+class TestUpdateMessages:
+    def test_restamps_partner_messages(self, rng):
+        params, partition = setup()
+        a = initial_dc_state(1, params, partition)
+        b = initial_dc_state(2, params, partition)
+        a.signature = 77
+        update_messages(1, a, b, partition.group_size(0), params, rng)
+        for msg_id, content in b.msgs[1].items():
+            assert content == 77
+            assert a.observations[msg_id - 1] == 77
+
+    def test_signature_refresh_on_schedule(self, rng):
+        params, partition = setup()
+        a = initial_dc_state(1, params, partition)
+        b = initial_dc_state(2, params, partition)
+        group_size = partition.group_size(0)
+        period = params.signature_period(group_size)
+        a.counter = period - 1
+        update_messages(1, a, b, group_size, params, rng)
+        assert a.counter == 1  # refreshed and reset
+        # Own held messages and their observations now match the signature.
+        for msg_id, content in a.msgs[1].items():
+            assert content == a.signature
+            assert a.observations[msg_id - 1] == a.signature
+
+    def test_counter_increments_between_refreshes(self, rng):
+        params, partition = setup()
+        a = initial_dc_state(1, params, partition)
+        b = initial_dc_state(2, params, partition)
+        a.counter = 1
+        update_messages(1, a, b, partition.group_size(0), params, rng)
+        assert a.counter == 2
+
+
+class TestBalanceLoad:
+    def test_conserves_messages(self):
+        params, partition = setup()
+        a = initial_dc_state(1, params, partition)
+        b = initial_dc_state(2, params, partition)
+        before = {}
+        for dc in (a, b):
+            for rank, ids in dc.msgs.items():
+                for msg_id, content in ids.items():
+                    before[(rank, msg_id)] = content
+        balance_load(a, b, list(partition.group_ranks(0)))
+        after = {}
+        for dc in (a, b):
+            for rank, ids in dc.msgs.items():
+                for msg_id, content in ids.items():
+                    assert (rank, msg_id) not in after, "message duplicated"
+                    after[(rank, msg_id)] = content
+        assert before == after
+
+    def test_per_content_holdings_within_one(self):
+        params, partition = setup()
+        a = initial_dc_state(1, params, partition)
+        b = initial_dc_state(2, params, partition)
+        balance_load(a, b, list(partition.group_ranks(0)))
+        for rank in partition.group_ranks(0):
+            by_content_a: dict[int, int] = {}
+            by_content_b: dict[int, int] = {}
+            for msg_id, content in a.msgs.get(rank, {}).items():
+                by_content_a[content] = by_content_a.get(content, 0) + 1
+            for msg_id, content in b.msgs.get(rank, {}).items():
+                by_content_b[content] = by_content_b.get(content, 0) + 1
+            for content in set(by_content_a) | set(by_content_b):
+                diff = abs(by_content_a.get(content, 0) - by_content_b.get(content, 0))
+                assert diff <= 1
+
+    def test_balances_clumped_holdings(self):
+        params, partition = setup()
+        a = initial_dc_state(1, params, partition)
+        b = initial_dc_state(2, params, partition)
+        # Give a everything b holds (disjoint blocks, so no duplicates).
+        for rank, ids in b.msgs.items():
+            a.msgs.setdefault(rank, {}).update(ids)
+        b.msgs = {}
+        total = a.held_count()
+        balance_load(a, b, list(partition.group_ranks(0)))
+        assert abs(a.held_count() - b.held_count()) <= a.held_count() + b.held_count()
+        assert a.held_count() + b.held_count() == total
+        # Both sides end with roughly half.
+        assert min(a.held_count(), b.held_count()) >= total // 2 - len(list(partition.group_ranks(0)))
+
+
+class TestSoundness:
+    def test_no_false_positive_long_run(self):
+        """Lemma E.1(a) empirically: from q0 on a correct ranking, no ⊤
+        over a long random execution (several seeds)."""
+        params = ProtocolParams(n=12, r=3)
+        protocol = DetectCollisionProtocol(params)
+        for seed in range(3):
+            config = [protocol.state_for_rank(rank) for rank in range(1, 13)]
+            sim = Simulation(protocol, config=config, seed=seed)
+            sim.run(30_000)
+            assert not protocol.error_detected(sim.config)
+
+    def test_consistency_invariant_preserved(self):
+        """The global message-system invariant survives random execution."""
+        params = ProtocolParams(n=12, r=4)
+        protocol = DetectCollisionProtocol(params)
+        config = [protocol.state_for_rank(rank) for rank in range(1, 13)]
+        sim = Simulation(protocol, config=config, seed=77)
+        for _ in range(20):
+            sim.run(1_000)
+            pairs = [(s.rank, s.dc) for s in sim.config]
+            assert message_system_consistent(pairs, params, protocol.partition)
+
+
+class TestCompleteness:
+    def test_duplicate_rank_detected(self):
+        """Lemma E.1(b): a duplicated rank yields ⊤, from clean DC states."""
+        params = ProtocolParams(n=12, r=3)
+        protocol = DetectCollisionProtocol(params)
+        config = [protocol.state_for_rank(rank) for rank in range(1, 13)]
+        config[0] = protocol.state_for_rank(2)  # ranks: two 2s, no 1
+        sim = Simulation(protocol, config=config, seed=13)
+        result = sim.run_until(
+            protocol.error_detected, max_interactions=500_000, check_interval=50
+        )
+        assert result.converged
+
+    def test_duplicate_rank_detected_with_scrambled_states(self):
+        """Robust completeness: detection works from adversarial DC states."""
+        params = ProtocolParams(n=12, r=3)
+        protocol = DetectCollisionProtocol(params)
+        rng = make_rng(4)
+        config = [protocol.state_for_rank(rank) for rank in range(1, 13)]
+        config[5] = protocol.state_for_rank(3)
+        # Scramble signatures and observations arbitrarily.
+        for agent in config:
+            assert agent.dc is not TOP
+            agent.dc.signature = rng.randrange(1, 100)
+            agent.dc.counter = rng.randrange(1, 5)
+        sim = Simulation(protocol, config=config, seed=29)
+        result = sim.run_until(
+            protocol.error_detected, max_interactions=500_000, check_interval=50
+        )
+        assert result.converged
+
+    def test_detection_across_seeds(self):
+        """All of 10 seeded duplicate-rank runs must detect (w.h.p. claim)."""
+        params = ProtocolParams(n=12, r=4)
+        protocol = DetectCollisionProtocol(params)
+        detected = 0
+        for trial in range(10):
+            config = [protocol.state_for_rank(rank) for rank in range(1, 13)]
+            config[3] = protocol.state_for_rank(5)
+            sim = Simulation(protocol, config=config, seed=derive_seed(31, trial))
+            result = sim.run_until(
+                protocol.error_detected, max_interactions=500_000, check_interval=100
+            )
+            detected += bool(result.converged)
+        assert detected == 10

@@ -1,0 +1,148 @@
+"""Tests for the epidemic substrates (Lemma A.2)."""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+from repro.scheduler.rng import derive_seed
+from repro.sim.simulation import Simulation
+from repro.substrates.epidemics import (
+    EpidemicProtocol,
+    MinEpidemicProtocol,
+    OneWayEpidemicProtocol,
+)
+
+
+class TestTwoWayEpidemic:
+    def test_infection_spreads_on_contact(self, rng):
+        protocol = EpidemicProtocol()
+        u = protocol.initial_state()
+        v = protocol.initial_state()
+        u.marked = True
+        protocol.transition(u, v, rng)
+        assert v.marked
+
+    def test_no_spontaneous_infection(self, rng):
+        protocol = EpidemicProtocol()
+        u = protocol.initial_state()
+        v = protocol.initial_state()
+        protocol.transition(u, v, rng)
+        assert not u.marked and not v.marked
+
+    def test_seeded_configuration(self):
+        config = EpidemicProtocol.seeded_configuration(10, sources=3)
+        assert sum(s.marked for s in config) == 3
+
+    def test_seeded_configuration_bounds(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            EpidemicProtocol.seeded_configuration(5, sources=0)
+        with pytest.raises(ValueError):
+            EpidemicProtocol.seeded_configuration(5, sources=6)
+
+    def test_completes(self):
+        protocol = EpidemicProtocol()
+        config = EpidemicProtocol.seeded_configuration(64, sources=1)
+        sim = Simulation(protocol, config=config, seed=2)
+        result = sim.run_until(
+            protocol.is_goal_configuration, max_interactions=100_000, check_interval=32
+        )
+        assert result.converged
+
+    def test_completion_within_lemma_bound(self):
+        """Lemma A.2: completion within c_epi · n log n with c_epi < 7.
+
+        We check the median over trials sits well under 7·n·ln n and the
+        max under a generous envelope."""
+        protocol = EpidemicProtocol()
+        n = 128
+        bound = 7 * n * math.log(n)
+        times = []
+        for trial in range(10):
+            config = EpidemicProtocol.seeded_configuration(n, sources=1)
+            sim = Simulation(protocol, config=config, seed=derive_seed(3, trial))
+            result = sim.run_until(
+                protocol.is_goal_configuration, max_interactions=200_000, check_interval=16
+            )
+            assert result.converged
+            times.append(result.interactions)
+        assert statistics.median(times) < bound
+        assert max(times) < 2 * bound
+
+    def test_scaling_is_n_log_n(self):
+        """Ratio of completion times across n should track n log n."""
+        protocol = EpidemicProtocol()
+        medians = []
+        for n in (64, 256):
+            times = []
+            for trial in range(8):
+                config = EpidemicProtocol.seeded_configuration(n, sources=1)
+                sim = Simulation(protocol, config=config, seed=derive_seed(11, trial))
+                result = sim.run_until(
+                    protocol.is_goal_configuration,
+                    max_interactions=500_000,
+                    check_interval=16,
+                )
+                assert result.converged
+                times.append(result.interactions)
+            medians.append(statistics.median(times))
+        measured_ratio = medians[1] / medians[0]
+        predicted_ratio = (256 * math.log(256)) / (64 * math.log(64))
+        assert measured_ratio < 2.0 * predicted_ratio
+        assert measured_ratio > 0.4 * predicted_ratio
+
+
+class TestOneWayEpidemic:
+    def test_only_initiator_infects(self, rng):
+        protocol = OneWayEpidemicProtocol()
+        u = protocol.initial_state()
+        v = protocol.initial_state()
+        v.marked = True
+        protocol.transition(u, v, rng)
+        assert not u.marked  # responder cannot infect the initiator
+        protocol.transition(v, u, rng)
+        assert u.marked
+
+    def test_slower_than_two_way(self):
+        """One-way epidemics complete, just more slowly on average."""
+        n = 64
+        one_way_times = []
+        two_way_times = []
+        for trial in range(6):
+            for protocol, sink in (
+                (OneWayEpidemicProtocol(), one_way_times),
+                (EpidemicProtocol(), two_way_times),
+            ):
+                config = protocol.seeded_configuration(n, sources=1)
+                sim = Simulation(protocol, config=config, seed=derive_seed(21, trial))
+                result = sim.run_until(
+                    protocol.is_goal_configuration,
+                    max_interactions=300_000,
+                    check_interval=16,
+                )
+                assert result.converged
+                sink.append(result.interactions)
+        assert statistics.median(one_way_times) > statistics.median(two_way_times)
+
+
+class TestMinEpidemic:
+    def test_merges_to_minimum(self, rng):
+        protocol = MinEpidemicProtocol()
+        config = MinEpidemicProtocol.valued_configuration([5, 3, 9])
+        protocol.transition(config[0], config[2], rng)
+        assert config[0].value == 5 and config[2].value == 5
+        protocol.transition(config[0], config[1], rng)
+        assert config[0].value == 3 and config[1].value == 3
+
+    def test_converges_to_global_minimum(self):
+        protocol = MinEpidemicProtocol()
+        values = list(range(100, 0, -1))
+        config = MinEpidemicProtocol.valued_configuration(values)
+        sim = Simulation(protocol, config=config, seed=5)
+        result = sim.run_until(
+            protocol.is_goal_configuration, max_interactions=200_000, check_interval=50
+        )
+        assert result.converged
+        assert all(s.value == 1 for s in result.config)

@@ -1,0 +1,69 @@
+"""Smoke tests: the example scripts run end-to-end.
+
+The slower showcase scripts (stabilization_spectrum, render_figures) are
+exercised only through the library calls they share with the faster ones;
+the three quick examples run here in-process so they stay correct as the
+API evolves.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None) -> None:
+    path = EXAMPLES / name
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "Stabilized after" in out
+        assert "unique leader" in out
+
+    def test_protocol_anatomy(self, capsys):
+        run_example("protocol_anatomy.py")
+        out = capsys.readouterr().out
+        assert "fully dormant" in out
+        assert "SAFE" in out
+        assert "Leader: agent #" in out
+
+    def test_self_healing_sensor_swarm(self, capsys):
+        run_example("self_healing_sensor_swarm.py")
+        out = capsys.readouterr().out
+        assert "[deploy]" in out
+        assert "[burst 4]" in out
+        assert "1 coordinator" in out
+
+    def test_tradeoff_explorer_tiny(self, capsys):
+        run_example("tradeoff_explorer.py", argv=["12"])
+        out = capsys.readouterr().out
+        assert "state_bits" in out
+        assert "space buys speed" in out
+
+    def test_all_examples_exist_and_are_executable_scripts(self):
+        names = {path.name for path in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "self_healing_sensor_swarm.py",
+            "tradeoff_explorer.py",
+            "protocol_anatomy.py",
+            "stabilization_spectrum.py",
+            "render_figures.py",
+        } <= names
+        for path in EXAMPLES.glob("*.py"):
+            head = path.read_text().splitlines()[0]
+            assert head.startswith("#!"), f"{path.name} missing shebang"

@@ -1,0 +1,137 @@
+"""Tests for ``FastLeaderElect`` (Appendix D.2, Lemma D.10)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.fast_leader_elect import (
+    FastLeaderElectProtocol,
+    LEState,
+    activate,
+    leader_election_step,
+)
+from repro.core.params import ProtocolParams
+from repro.core.state import ARState
+from repro.scheduler.rng import derive_seed, make_rng
+from repro.sim.simulation import Simulation
+
+
+class TestActivation:
+    def test_activation_draws_identifier(self, small_params, rng):
+        state = ARState()
+        activate(state, small_params, rng)
+        assert state.identifier is not None
+        assert 1 <= state.identifier <= small_params.identifier_space
+        assert state.min_identifier == state.identifier
+        assert state.le_count == small_params.le_count_max
+
+    def test_activation_idempotent(self, small_params, rng):
+        state = ARState()
+        activate(state, small_params, rng)
+        identifier = state.identifier
+        activate(state, small_params, rng)
+        assert state.identifier == identifier
+
+
+class TestStep:
+    def test_min_epidemic_merges(self, small_params, rng):
+        u, v = ARState(), ARState()
+        activate(u, small_params, rng)
+        activate(v, small_params, rng)
+        u.min_identifier = 10
+        v.min_identifier = 3
+        leader_election_step(u, v, small_params, rng)
+        assert u.min_identifier == 3
+        assert v.min_identifier == 3
+
+    def test_countdown_decrements(self, small_params, rng):
+        u, v = ARState(), ARState()
+        leader_election_step(u, v, small_params, rng)
+        assert u.le_count == small_params.le_count_max - 1
+        assert v.le_count == small_params.le_count_max - 1
+
+    def test_decision_on_expiry(self, small_params, rng):
+        u, v = ARState(), ARState()
+        activate(u, small_params, rng)
+        activate(v, small_params, rng)
+        u.identifier = u.min_identifier = 1
+        v.identifier = 2
+        v.min_identifier = 1
+        u.le_count = v.le_count = 1
+        leader_election_step(u, v, small_params, rng)
+        assert u.leader_done and v.leader_done
+        assert u.leader_bit  # holds the minimum
+        assert not v.leader_bit
+
+    def test_done_agent_frozen(self, small_params, rng):
+        u, v = ARState(), ARState()
+        activate(u, small_params, rng)
+        activate(v, small_params, rng)
+        u.leader_done = True
+        u.le_count = 0
+        u.leader_bit = True
+        leader_election_step(u, v, small_params, rng)
+        assert u.leader_bit
+        assert u.le_count == 0
+
+
+class TestStandaloneProtocol:
+    def test_elects_unique_leader(self):
+        params = ProtocolParams(n=64, r=4)
+        protocol = FastLeaderElectProtocol(params)
+        sim = Simulation(protocol, n=64, seed=11)
+        result = sim.run_until(
+            protocol.is_goal_configuration, max_interactions=200_000, check_interval=50
+        )
+        assert result.converged
+        assert protocol.leader_count(result.config) == 1
+
+    def test_unique_leader_across_trials(self):
+        """Lemma D.10: w.h.p. exactly one leader.  All of 30 seeded trials
+        at n=48 should succeed (failure probability O(1/n) per trial would
+        allow rare misses; the identifier space n³ makes ties ~1e-3)."""
+        params = ProtocolParams(n=48, r=4)
+        protocol = FastLeaderElectProtocol(params)
+        successes = 0
+        for trial in range(30):
+            sim = Simulation(protocol, n=48, seed=derive_seed(100, trial))
+            result = sim.run_until(
+                protocol.is_goal_configuration, max_interactions=100_000, check_interval=50
+            )
+            successes += bool(result.converged)
+        assert successes >= 28
+
+    def test_time_is_logarithmic_shape(self):
+        """Median decision time stays within a constant times n·log n."""
+        medians = []
+        for n in (32, 128):
+            params = ProtocolParams(n=n, r=4)
+            protocol = FastLeaderElectProtocol(params)
+            times = []
+            for trial in range(5):
+                sim = Simulation(protocol, n=n, seed=derive_seed(7, trial))
+                result = sim.run_until(
+                    protocol.is_goal_configuration,
+                    max_interactions=500_000,
+                    check_interval=50,
+                )
+                assert result.converged
+                times.append(result.interactions)
+            times.sort()
+            medians.append(times[len(times) // 2])
+        ratio = medians[1] / medians[0]
+        predicted = (128 * math.log(128)) / (32 * math.log(32))
+        # Growth should be near n log n (ratio ≈ 5.6), certainly below n².
+        assert ratio < 3 * predicted
+
+    def test_clone(self):
+        state = LEState(identifier=5, min_identifier=3, le_count=2)
+        copy = state.clone()
+        copy.min_identifier = 1
+        assert state.min_identifier == 3
+
+    def test_output(self):
+        params = ProtocolParams(n=8, r=2)
+        protocol = FastLeaderElectProtocol(params)
+        assert protocol.output(LEState(leader_bit=True))
+        assert not protocol.output(LEState(leader_bit=False))

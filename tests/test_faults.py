@@ -1,0 +1,108 @@
+"""Tests for the fault injector and availability measurement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.initializers import (
+    correct_verifier_configuration,
+    single_agent_scrambler,
+)
+from repro.core.elect_leader import ElectLeader
+from repro.core.params import ProtocolParams
+from repro.scheduler.rng import make_rng
+from repro.sim.faults import FaultInjector, measure_availability
+from repro.sim.simulation import Simulation
+
+
+@pytest.fixture
+def protocol() -> ElectLeader:
+    return ElectLeader(ProtocolParams(n=16, r=4))
+
+
+class TestFaultInjector:
+    def test_rejects_bad_parameters(self, protocol):
+        corrupt = single_agent_scrambler(protocol)
+        with pytest.raises(ValueError):
+            FaultInjector(corrupt, rate=0, burst_size=1, rng=make_rng(0))
+        with pytest.raises(ValueError):
+            FaultInjector(corrupt, rate=1.0, burst_size=0, rng=make_rng(0))
+
+    def test_bursts_arrive_at_roughly_the_requested_rate(self, protocol):
+        corrupt = single_agent_scrambler(protocol)
+        injector = FaultInjector(corrupt, rate=0.01, burst_size=1, rng=make_rng(1))
+        sim = Simulation(protocol, config=correct_verifier_configuration(protocol), seed=2)
+        sim.observers.append(injector.observe)
+        sim.run(80_000)  # 5000 parallel time → expect ~50 bursts at rate 0.01
+        assert 20 <= len(injector.events) <= 100
+
+    def test_burst_corrupts_requested_number_of_agents(self, protocol):
+        corrupt = single_agent_scrambler(protocol)
+        injector = FaultInjector(corrupt, rate=1.0, burst_size=3, rng=make_rng(3))
+        sim = Simulation(protocol, config=correct_verifier_configuration(protocol), seed=4)
+        sim.observers.append(injector.observe)
+        sim.run(200)
+        assert injector.events
+        assert all(len(event.agents) == 3 for event in injector.events)
+
+    def test_corrupted_states_remain_well_formed(self, protocol):
+        corrupt = single_agent_scrambler(protocol)
+        injector = FaultInjector(corrupt, rate=0.5, burst_size=2, rng=make_rng(5))
+        sim = Simulation(protocol, config=correct_verifier_configuration(protocol), seed=6)
+        sim.observers.append(injector.observe)
+        sim.run(2_000)
+        assert injector.events
+        assert all(agent.consistent() for agent in sim.config)
+
+
+class TestAvailability:
+    def test_low_fault_rate_high_availability(self, protocol):
+        corrupt = single_agent_scrambler(protocol)
+        injector = FaultInjector(corrupt, rate=0.002, burst_size=1, rng=make_rng(7))
+        report = measure_availability(
+            protocol,
+            lambda config: protocol.leader_count(config) == 1,
+            injector,
+            n=16,
+            seed=8,
+            total_interactions=60_000,
+            checkpoint_every=500,
+            config=correct_verifier_configuration(protocol),
+        )
+        assert report.checkpoints == 120
+        assert report.availability > 0.7
+
+    def test_availability_decreases_with_fault_rate(self, protocol):
+        corrupt = single_agent_scrambler(protocol)
+        availabilities = []
+        for rate, seed in ((0.001, 10), (0.3, 11)):
+            injector = FaultInjector(corrupt, rate=rate, burst_size=2, rng=make_rng(seed))
+            report = measure_availability(
+                protocol,
+                lambda config: protocol.leader_count(config) == 1,
+                injector,
+                n=16,
+                seed=seed + 1,
+                total_interactions=60_000,
+                checkpoint_every=500,
+                config=correct_verifier_configuration(protocol),
+            )
+            availabilities.append(report.availability)
+        assert availabilities[0] > availabilities[1]
+
+    def test_repair_times_recorded(self, protocol):
+        corrupt = single_agent_scrambler(protocol)
+        injector = FaultInjector(corrupt, rate=0.05, burst_size=2, rng=make_rng(12))
+        report = measure_availability(
+            protocol,
+            lambda config: protocol.leader_count(config) == 1,
+            injector,
+            n=16,
+            seed=13,
+            total_interactions=100_000,
+            checkpoint_every=500,
+            config=correct_verifier_configuration(protocol),
+        )
+        assert report.fault_bursts > 0
+        assert report.repair_times, "no repairs were ever observed"
+        assert report.median_repair_interactions > 0

@@ -1,0 +1,63 @@
+"""Integration test of the space-time trade-off (Theorem 1.1's shape).
+
+Small-scale version of experiments E2/E3: at fixed ``n`` the stabilization
+time should *decrease* as ``r`` grows, and at fixed ``r`` it should grow
+roughly like ``(n²/r)·log n``.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.statespace import elect_leader_bits
+from repro.analysis.theory import predicted_stabilization_interactions
+from repro.core.elect_leader import ElectLeader
+from repro.core.params import ProtocolParams
+from repro.scheduler.rng import derive_seed
+from repro.sim.simulation import Simulation
+
+
+def median_stabilization_interactions(n: int, r: int, trials: int = 3, seed: int = 0) -> float:
+    protocol = ElectLeader(ProtocolParams(n=n, r=r))
+    times = []
+    for trial in range(trials):
+        sim = Simulation(protocol, n=n, seed=derive_seed(seed, trial))
+        result = sim.run_until(
+            protocol.is_safe_configuration, max_interactions=10_000_000, check_interval=500
+        )
+        assert result.converged, (n, r, trial)
+        times.append(result.interactions)
+    return statistics.median(times)
+
+
+class TestTradeoff:
+    def test_time_decreases_with_r(self):
+        """E3 in miniature: larger r → fewer interactions until the
+        Θ(n log n) floor (the time-optimal regime) is reached."""
+        n = 64
+        slow = median_stabilization_interactions(n, 1, seed=10)
+        mid = median_stabilization_interactions(n, 4, seed=11)
+        fast = median_stabilization_interactions(n, 16, seed=12)
+        assert slow > mid
+        # Beyond the floor, larger r cannot be much slower.
+        assert fast <= mid * 1.5
+        # The full r-spread buys a large speedup.
+        assert slow / fast > 3
+
+    def test_space_increases_with_r(self):
+        """The other side of the trade-off: state bits grow with r."""
+        n = 32
+        assert elect_leader_bits(n, 1) < elect_leader_bits(n, 4) < elect_leader_bits(n, 8)
+
+    def test_time_scales_with_n(self):
+        """E2 in miniature: measured growth from n=16 to n=48 tracks the
+        concrete countdown-based prediction within loose bounds."""
+        r = 4
+        small = median_stabilization_interactions(16, r, seed=20)
+        large = median_stabilization_interactions(48, r, seed=21)
+        predicted = predicted_stabilization_interactions(
+            ProtocolParams(n=48, r=r)
+        ) / predicted_stabilization_interactions(ProtocolParams(n=16, r=r))
+        measured = large / small
+        assert measured < 2.5 * predicted
+        assert measured > predicted / 2.5

@@ -1,0 +1,116 @@
+"""Tests for the load-balancing substrate (Lemma E.6)."""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduler.rng import derive_seed, make_rng
+from repro.substrates.load_balancing import LoadBalancingProcess
+
+
+class TestConstruction:
+    def test_clumped(self):
+        process = LoadBalancingProcess.clumped(8, 64)
+        assert process.loads[0] == 64
+        assert sum(process.loads[1:]) == 0
+        assert process.total == 64
+
+    def test_uniform(self):
+        process = LoadBalancingProcess.uniform(5, 3)
+        assert process.loads == [3, 3, 3, 3, 3]
+
+    def test_clumped_requires_two_agents(self):
+        with pytest.raises(ValueError):
+            LoadBalancingProcess.clumped(1, 10)
+
+
+class TestStep:
+    def test_conservation(self):
+        process = LoadBalancingProcess.clumped(6, 30)
+        rng = make_rng(1)
+        for _ in range(500):
+            process.step(rng)
+            assert process.total == 30
+
+    def test_pair_split_within_one(self):
+        """After any step, the interacting pair differs by at most 1 —
+        checked globally by running to low discrepancy."""
+        process = LoadBalancingProcess.clumped(4, 17)
+        rng = make_rng(2)
+        steps = process.run_until_balanced(rng, max_interactions=10_000, target_discrepancy=1)
+        assert steps is not None
+        assert process.discrepancy() <= 1
+
+    @given(
+        m=st.integers(min_value=2, max_value=12),
+        loads=st.lists(st.integers(min_value=0, max_value=50), min_size=2, max_size=12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_step_preserves_total_property(self, m: int, loads: list[int]):
+        if len(loads) < 2:
+            loads = loads + [0, 0]
+        process = LoadBalancingProcess(list(loads))
+        total = process.total
+        rng = make_rng(7)
+        for _ in range(20):
+            process.step(rng)
+        assert process.total == total
+        assert all(load >= 0 for load in process.loads)
+
+
+class TestCoverage:
+    def test_coverage_from_clumped_start(self):
+        """Lemma E.6's event: no zeros, from maximal clumping, in O(m log m)."""
+        m = 64
+        process = LoadBalancingProcess.clumped(m, 4 * m)
+        rng = make_rng(3)
+        steps = process.run_until_covered(rng, max_interactions=200_000)
+        assert steps is not None
+        assert steps < 40 * m * math.log(m)
+
+    def test_coverage_requires_enough_tokens(self):
+        process = LoadBalancingProcess.clumped(8, 4)
+        with pytest.raises(ValueError):
+            process.run_until_covered(make_rng(0), max_interactions=10)
+
+    def test_coverage_scaling_m_log_m(self):
+        """Median coverage time across m should track m log m."""
+        medians = []
+        for m in (32, 128):
+            times = []
+            for trial in range(8):
+                process = LoadBalancingProcess.clumped(m, 4 * m)
+                rng = make_rng(derive_seed(13, trial))
+                steps = process.run_until_covered(rng, max_interactions=500_000)
+                assert steps is not None
+                times.append(steps)
+            medians.append(statistics.median(times))
+        measured = medians[1] / medians[0]
+        predicted = (128 * math.log(128)) / (32 * math.log(32))
+        assert measured < 2.5 * predicted
+        assert measured > 0.3 * predicted
+
+    def test_balanced_start_already_covered(self):
+        process = LoadBalancingProcess.uniform(10, 2)
+        steps = process.run_until_covered(make_rng(0), max_interactions=10)
+        assert steps == 0
+
+
+class TestDiscrepancy:
+    def test_discrepancy_decreases(self):
+        process = LoadBalancingProcess.clumped(32, 320)
+        initial = process.discrepancy()
+        rng = make_rng(5)
+        steps = process.run_until_balanced(rng, max_interactions=100_000)
+        assert steps is not None
+        assert process.discrepancy() <= 3 < initial
+
+    def test_budget_exhaustion_returns_none(self):
+        process = LoadBalancingProcess.clumped(32, 320)
+        result = process.run_until_balanced(make_rng(0), max_interactions=1, target_discrepancy=0)
+        assert result is None

@@ -1,0 +1,112 @@
+"""Tests for the loosely-stabilizing baseline (related-work comparator)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.loosely_stabilizing import (
+    LooselyStabilizingLeaderElection,
+    LooseState,
+)
+from repro.core.params import BaselineParams
+from repro.scheduler.rng import derive_seed, make_rng
+from repro.sim.simulation import Simulation
+
+
+@pytest.fixture
+def protocol() -> LooselyStabilizingLeaderElection:
+    return LooselyStabilizingLeaderElection(BaselineParams(n=32), tau=4.0)
+
+
+class TestMechanics:
+    def test_two_leaders_eliminate(self, protocol, rng):
+        u = LooseState(leader=True, timer=3)
+        v = LooseState(leader=True, timer=3)
+        protocol.transition(u, v, rng)
+        assert u.leader and not v.leader
+        assert u.timer == protocol.timer_max
+
+    def test_leader_heartbeat_refreshes_timers(self, protocol, rng):
+        u = LooseState(leader=True, timer=1)
+        v = LooseState(leader=False, timer=1)
+        protocol.transition(u, v, rng)
+        assert u.timer == protocol.timer_max
+        assert v.timer == protocol.timer_max
+
+    def test_follower_timers_decay_by_max_merge(self, protocol, rng):
+        u = LooseState(leader=False, timer=10)
+        v = LooseState(leader=False, timer=4)
+        protocol.transition(u, v, rng)
+        assert u.timer == 9
+        assert v.timer == 9
+
+    def test_expiry_promotes_initiator(self, protocol, rng):
+        u = LooseState(leader=False, timer=1)
+        v = LooseState(leader=False, timer=0)
+        protocol.transition(u, v, rng)
+        assert u.leader
+        assert u.timer == protocol.timer_max
+
+    def test_state_count_is_tiny(self, protocol):
+        # O(τ log n): a few hundred states, versus 2^thousands for SSLE.
+        assert protocol.state_count() < 500
+
+
+class TestConvergence:
+    def test_converges_from_clean_start(self, protocol):
+        sim = Simulation(protocol, n=32, seed=1)
+        result = sim.run_until(
+            protocol.is_goal_configuration, max_interactions=500_000, check_interval=50
+        )
+        assert result.converged
+
+    def test_converges_from_zero_leader_configuration(self, protocol):
+        """The crucial advantage over plain pairwise elimination."""
+        config = protocol.zero_leader_configuration()
+        sim = Simulation(protocol, config=config, seed=2)
+        result = sim.run_until(
+            protocol.is_goal_configuration, max_interactions=500_000, check_interval=50
+        )
+        assert result.converged
+
+    def test_converges_from_adversarial_starts(self, protocol):
+        for trial in range(5):
+            config = protocol.adversarial_configuration(make_rng(derive_seed(3, trial)))
+            sim = Simulation(protocol, config=config, seed=derive_seed(4, trial))
+            result = sim.run_until(
+                protocol.is_goal_configuration,
+                max_interactions=500_000,
+                check_interval=50,
+            )
+            assert result.converged
+
+
+class TestHoldingTime:
+    def test_requires_unique_leader(self, protocol):
+        with pytest.raises(ValueError):
+            protocol.holding_time(protocol.zero_leader_configuration(), make_rng(0), 100)
+
+    def test_holding_grows_with_tau(self):
+        """Larger τ (longer timers) must hold the leader longer."""
+        params = BaselineParams(n=24)
+        budget = 300_000
+        medians = []
+        for tau in (0.25, 4.0):
+            protocol = LooselyStabilizingLeaderElection(params, tau=tau)
+            times = []
+            for trial in range(5):
+                sim = Simulation(protocol, n=24, seed=derive_seed(10, trial))
+                result = sim.run_until(
+                    protocol.is_goal_configuration,
+                    max_interactions=500_000,
+                    check_interval=20,
+                )
+                assert result.converged
+                times.append(
+                    protocol.holding_time(
+                        result.config, make_rng(derive_seed(11, trial)), budget
+                    )
+                )
+            times.sort()
+            medians.append(times[len(times) // 2])
+        assert medians[1] > 2 * medians[0]

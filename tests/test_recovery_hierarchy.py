@@ -1,0 +1,154 @@
+"""The recovery hierarchy 𝒞₀ ⊃ 𝒞₁ ⊃ ... ⊃ 𝒞₅, transition by transition.
+
+Lemma 6.3's proof descends a hierarchy of configuration sets; each of
+Lemmas F.2–F.6 shows one descent step happens quickly (or a reset fires).
+These tests start populations *exactly at* each hierarchy level and verify
+the specific next milestone, rather than full recovery — pinpointing which
+mechanism each lemma exercises.
+
+Hierarchy (Section 6):
+  𝒞₁: no resetters; 𝒞₂: all verifiers; 𝒞₃: + equal generations;
+  𝒞₄: + all probation timers 0; 𝒞₅: + correct ranking (⊂ 𝒞_safe).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.initializers import (
+    correct_verifier_configuration,
+    duplicate_ranks,
+    mid_ranking,
+    mid_reset,
+    mixed_generations,
+    probation_chaos,
+)
+from repro.core.elect_leader import ElectLeader
+from repro.core.params import ProtocolParams
+from repro.core.roles import Role
+from repro.scheduler.rng import derive_seed, make_rng
+from repro.sim.simulation import Simulation
+
+
+@pytest.fixture
+def protocol() -> ElectLeader:
+    return ElectLeader(ProtocolParams(n=16, r=4))
+
+
+def reset_was_triggered(protocol: ElectLeader) -> bool:
+    return protocol.events.get("hard_reset", 0) > 0
+
+
+class TestLemmaF2:
+    """𝒞₀ \\ 𝒞₁ → 𝒞₁: resetters disappear within O(n log n)-ish time."""
+
+    def test_resetters_clear_or_full_cycle_completes(self, protocol):
+        for trial in range(5):
+            config = mid_reset(protocol, make_rng(derive_seed(1, trial)))
+            sim = Simulation(protocol, config=config, seed=derive_seed(2, trial))
+            result = sim.run_until(
+                lambda cfg: all(s.role is not Role.RESETTING for s in cfg),
+                max_interactions=300_000,
+                check_interval=100,
+            )
+            assert result.converged, f"trial {trial}: resetters never cleared"
+
+
+class TestLemmaF3:
+    """𝒞₁ \\ 𝒞₂ → 𝒞₂: rankers all become verifiers (or a reset fires)."""
+
+    def test_rankers_become_verifiers_or_reset(self, protocol):
+        for trial in range(5):
+            protocol.reset_events()
+            config = mid_ranking(protocol, make_rng(derive_seed(3, trial)))
+            sim = Simulation(protocol, config=config, seed=derive_seed(4, trial))
+            result = sim.run_until(
+                lambda cfg: all(s.role is Role.VERIFYING for s in cfg)
+                or reset_was_triggered(protocol),
+                max_interactions=2_000_000,
+                check_interval=500,
+            )
+            assert result.converged
+
+
+class TestLemmaF4:
+    """𝒞₂ \\ 𝒞₃ → 𝒞₃: generations equalize (or a reset fires)."""
+
+    def _generations_equal(self, protocol, cfg):
+        generations = protocol.generation_profile(cfg)
+        return generations is not None and len(generations) == 1
+
+    def test_generations_equalize_or_reset(self, protocol):
+        for trial in range(5):
+            protocol.reset_events()
+            config = mixed_generations(protocol, make_rng(derive_seed(5, trial)), spread=3)
+            sim = Simulation(protocol, config=config, seed=derive_seed(6, trial))
+            result = sim.run_until(
+                lambda cfg: self._generations_equal(protocol, cfg)
+                or reset_was_triggered(protocol),
+                max_interactions=2_000_000,
+                check_interval=200,
+            )
+            assert result.converged
+
+    def test_adjacent_generations_equalize_without_reset(self, protocol):
+        """With gap exactly 1 and behind agents off probation, the epidemic
+        adoption path should usually resolve without any hard reset."""
+        protocol.reset_events()
+        config = correct_verifier_configuration(protocol)
+        rng = make_rng(7)
+        for agent in config:
+            assert agent.sv is not None
+            agent.sv.probation_timer = 0
+            if rng.random() < 0.4:
+                agent.sv.generation = 1
+                # Freshly soft-reset agents carry a full probation timer.
+                agent.sv.probation_timer = protocol.params.probation_max
+        sim = Simulation(protocol, config=config, seed=8)
+        result = sim.run_until(
+            lambda cfg: self._generations_equal(protocol, cfg),
+            max_interactions=2_000_000,
+            check_interval=200,
+        )
+        assert result.converged
+        assert not reset_was_triggered(protocol)
+        assert protocol.ranking_correct(result.config)
+
+
+class TestLemmaF5:
+    """𝒞₃ \\ 𝒞₄ → 𝒞₄: probation timers drain to zero (or a reset fires)."""
+
+    def test_probation_drains(self, protocol):
+        for trial in range(5):
+            protocol.reset_events()
+            config = probation_chaos(protocol, make_rng(derive_seed(9, trial)))
+            sim = Simulation(protocol, config=config, seed=derive_seed(10, trial))
+            result = sim.run_until(
+                lambda cfg: all(
+                    s.sv is not None and s.sv.probation_timer == 0 for s in cfg
+                )
+                or reset_was_triggered(protocol),
+                max_interactions=2_000_000,
+                check_interval=200,
+            )
+            assert result.converged
+
+
+class TestLemmaF6:
+    """𝒞₄ \\ 𝒞₅: a genuine rank collision with drained probation MUST
+    trigger a hard reset (soft resets cannot repair ranks)."""
+
+    def test_duplicate_ranks_force_reset(self, protocol):
+        for trial in range(5):
+            protocol.reset_events()
+            config = duplicate_ranks(protocol, make_rng(derive_seed(11, trial)), 2)
+            for agent in config:
+                assert agent.sv is not None
+                agent.sv.probation_timer = 0
+            sim = Simulation(protocol, config=config, seed=derive_seed(12, trial))
+            result = sim.run_until(
+                lambda cfg: reset_was_triggered(protocol),
+                max_interactions=2_000_000,
+                check_interval=200,
+            )
+            assert result.converged, f"trial {trial}: collision never forced a reset"

@@ -1,0 +1,112 @@
+"""Property-based tests for ``StableVerify_r``'s state machine.
+
+Random verifier pairs (arbitrary generations, probation timers, rank
+combinations, planted ⊤) are pushed through ``stable_verify``; the
+invariants that must survive *any* such interaction:
+
+* generations stay in Z₆ and move only to a neighbour or via reset;
+* probation timers stay in ``[0, P_max]``;
+* ⊤ never survives an interaction (it is resolved to a soft or hard reset
+  within the same call);
+* a verifier's rank is never modified by StableVerify itself;
+* the only way out of the verifier role is a hard reset.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.elect_leader import ElectLeader
+from repro.core.params import ProtocolParams
+from repro.core.roles import Role
+from repro.core.stable_verify import initial_sv_state, stable_verify
+from repro.core.state import TOP, AgentState
+from repro.scheduler.rng import make_rng
+
+PARAMS = ProtocolParams(n=12, r=3)
+PROTOCOL = ElectLeader(PARAMS)
+
+
+@st.composite
+def verifier_state(draw) -> AgentState:
+    rank = draw(st.integers(1, PARAMS.n))
+    agent = AgentState(
+        role=Role.VERIFYING,
+        rank=rank,
+        sv=initial_sv_state(rank, PARAMS, PROTOCOL.partition),
+    )
+    assert agent.sv is not None
+    agent.sv.generation = draw(st.integers(0, PARAMS.generations - 1))
+    agent.sv.probation_timer = draw(
+        st.one_of(st.just(0), st.integers(0, PARAMS.probation_max))
+    )
+    if draw(st.booleans()):
+        agent.sv.dc = TOP
+    return agent
+
+
+class TestStableVerifyInvariants:
+    @given(u=verifier_state(), v=verifier_state(), seed=st.integers(0, 2**31))
+    @settings(max_examples=150, deadline=None)
+    def test_single_interaction_invariants(self, u: AgentState, v: AgentState, seed: int):
+        ranks_before = (u.rank, v.rank)
+        stable_verify(u, v, PARAMS, PROTOCOL.partition, make_rng(seed), PROTOCOL.trigger)
+        for agent, rank_before in zip((u, v), ranks_before):
+            assert agent.consistent()
+            if agent.role is Role.VERIFYING:
+                assert agent.sv is not None
+                # ⊤ is always resolved within the interaction.
+                assert agent.sv.dc is not TOP
+                assert 0 <= agent.sv.generation < PARAMS.generations
+                assert 0 <= agent.sv.probation_timer <= PARAMS.probation_max
+                # StableVerify never rewrites a verifier's rank.
+                assert agent.rank == rank_before
+            else:
+                # The only exit from verifying is a hard reset.
+                assert agent.role is Role.RESETTING
+
+    @given(u=verifier_state(), v=verifier_state(), seed=st.integers(0, 2**31))
+    @settings(max_examples=100, deadline=None)
+    def test_generation_moves_are_local(self, u: AgentState, v: AgentState, seed: int):
+        """A surviving verifier's generation either stays, or advances by
+        one (soft reset), or jumps to the partner's generation (adoption,
+        which is itself the partner's value = own+1)."""
+        assert u.sv is not None and v.sv is not None
+        before = {id(u): u.sv.generation, id(v): v.sv.generation}
+        partner = {id(u): v.sv.generation, id(v): u.sv.generation}
+        stable_verify(u, v, PARAMS, PROTOCOL.partition, make_rng(seed), PROTOCOL.trigger)
+        for agent in (u, v):
+            if agent.role is not Role.VERIFYING:
+                continue
+            assert agent.sv is not None
+            now = agent.sv.generation
+            old = before[id(agent)]
+            allowed = {
+                old,
+                (old + 1) % PARAMS.generations,
+                partner[id(agent)] % PARAMS.generations,
+            }
+            assert now in allowed, (old, now, partner[id(agent)])
+
+    @given(
+        u=verifier_state(),
+        v=verifier_state(),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_probation_rearm_only_with_dc_refresh(self, u, v, seed):
+        """If an agent's probation timer *increased*, its DC state must be
+        a fresh q0 (soft reset / adoption re-initializes both together)."""
+        from repro.core.detect_collision import initial_dc_state
+
+        assert u.sv is not None and v.sv is not None
+        before = {id(u): u.sv.probation_timer, id(v): v.sv.probation_timer}
+        stable_verify(u, v, PARAMS, PROTOCOL.partition, make_rng(seed), PROTOCOL.trigger)
+        for agent in (u, v):
+            if agent.role is not Role.VERIFYING:
+                continue
+            assert agent.sv is not None
+            if agent.sv.probation_timer > before[id(agent)]:
+                fresh = initial_dc_state(agent.rank, PARAMS, PROTOCOL.partition)
+                assert agent.sv.dc == fresh

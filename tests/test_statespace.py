@@ -1,0 +1,155 @@
+"""Tests for the state-space calculators (E1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.statespace import (
+    assign_ranks_bits,
+    burman_style_bits,
+    cai_izumi_wada_bits,
+    comparison_table,
+    detect_collision_bits,
+    elect_leader_bits,
+    elect_leader_report,
+    fast_leader_elect_bits,
+    log2_add,
+    log2_binomial,
+    log2_sum,
+    propagate_reset_bits,
+    sublinear_ssr_quoted_bits,
+    sublinear_ssr_quoted_time,
+    sublinear_ssr_time_optimal_bits,
+    theorem_bound_bits,
+    tradeoff_frontier,
+)
+from repro.core.params import BaselineParams, ProtocolParams
+
+
+class TestLogHelpers:
+    def test_log2_add_exact(self):
+        assert log2_add(3.0, 3.0) == pytest.approx(4.0)
+        assert log2_add(10.0, 0.0) == pytest.approx(math.log2(1024 + 1))
+
+    def test_log2_add_handles_neg_inf(self):
+        assert log2_add(float("-inf"), 5.0) == 5.0
+
+    def test_log2_sum(self):
+        assert log2_sum([1.0, 1.0, 1.0, 1.0]) == pytest.approx(3.0)
+
+    def test_log2_binomial_small_exact(self):
+        assert log2_binomial(5, 2) == pytest.approx(math.log2(10), rel=1e-9)
+
+    def test_log2_binomial_out_of_range(self):
+        assert log2_binomial(5, 6) == float("-inf")
+
+
+class TestComponentFormulas:
+    def test_propagate_reset_is_theta_log_n(self):
+        bits_small = propagate_reset_bits(ProtocolParams(n=64, r=4))
+        bits_large = propagate_reset_bits(ProtocolParams(n=4096, r=4))
+        # Θ(log n) states → Θ(log log n) bits: tiny growth.
+        assert bits_small < bits_large < bits_small + 4
+
+    def test_fast_leader_elect_is_theta_log_n_bits(self):
+        bits = fast_leader_elect_bits(ProtocolParams(n=256, r=4))
+        assert bits == pytest.approx(6 * math.log2(256), rel=0.2)
+
+    def test_assign_ranks_dominated_by_channel(self):
+        """Lemma D.1: 2^{O(r log n)} states — bits scale ~linearly in r
+        once the channel term dominates the O(log n) FastLeaderElect part."""
+        n = 4096
+        b16 = assign_ranks_bits(ProtocolParams(n=n, r=16))
+        b64 = assign_ranks_bits(ProtocolParams(n=n, r=64))
+        b256 = assign_ranks_bits(ProtocolParams(n=n, r=256))
+        assert b16 < b64 < b256
+        # Quadrupling r should roughly quadruple the channel bits (within
+        # log-factor slack from the shrinking per-deputy pool).
+        assert 2 < (b256 - b64) / (b64 - b16) < 8
+
+    def test_detect_collision_r_squared_log_scaling(self):
+        """Fig. 3: 2^{O(r² log r)} — quadrupling r multiplies bits ~16×·log-factor."""
+        params8 = ProtocolParams(n=1024, r=8)
+        params32 = ProtocolParams(n=1024, r=32)
+        b8 = detect_collision_bits(params8, 8)
+        b32 = detect_collision_bits(params32, 32)
+        ratio = b32 / b8
+        assert 10 < ratio < 40  # 16 × (log 32 / log 8) ≈ 27 with slack
+
+    def test_verifier_dominates_total(self):
+        report = elect_leader_report(ProtocolParams(n=64, r=8))
+        assert report.total_bits == pytest.approx(report.verifier_bits, rel=0.01)
+        assert report.verifier_bits > report.ranker_bits > report.resetter_bits
+
+
+class TestTheoremEnvelope:
+    @pytest.mark.parametrize("n", [32, 128, 512, 2048])
+    def test_total_bits_within_r2_log_n_envelope(self, n):
+        """Theorem 1.1: bit complexity O(r² log n), across the r range."""
+        for r in (1, 2, max(2, n // 32), n // 2):
+            bits = elect_leader_bits(n, r)
+            envelope = theorem_bound_bits(n, r, constant=60.0) + 20 * math.log2(n) + 200
+            assert bits < envelope, (n, r, bits, envelope)
+
+    def test_bits_increase_with_r(self):
+        n = 256
+        values = [elect_leader_bits(n, r) for r in (2, 4, 8, 16, 32)]
+        assert values == sorted(values)
+
+    def test_bits_grow_slowly_with_n_at_fixed_r(self):
+        """At fixed r the bit complexity is O(log n)·poly(r)."""
+        b1 = elect_leader_bits(256, 4)
+        b2 = elect_leader_bits(4096, 4)
+        assert b2 < b1 * 2.0
+
+
+class TestBaselineFormulas:
+    def test_ciw_is_log_n(self):
+        assert cai_izumi_wada_bits(1024) == 10.0
+
+    def test_burman_sim_is_theta_n_log_n(self):
+        b1 = burman_style_bits(BaselineParams(n=64))
+        b2 = burman_style_bits(BaselineParams(n=256))
+        ratio = b2 / b1
+        predicted = (256 * math.log(256)) / (64 * math.log(64))
+        assert abs(ratio - predicted) / predicted < 0.3
+
+    def test_quoted_bits_super_polynomial(self):
+        """n^{Θ(log n)} beats any fixed power of n eventually."""
+        for n in (64, 256, 1024):
+            assert sublinear_ssr_time_optimal_bits(n) > n**3
+
+    def test_quoted_time_decreases_with_h(self):
+        times = [sublinear_ssr_quoted_time(1024, H) for H in (1, 2, 4, 7)]
+        assert times == sorted(times, reverse=True)
+
+    def test_quoted_bits_increase_with_h(self):
+        bits = [sublinear_ssr_quoted_bits(1024, H) for H in (1, 2, 4, 7)]
+        assert bits == sorted(bits)
+
+    def test_quoted_bits_validation(self):
+        with pytest.raises(ValueError):
+            sublinear_ssr_quoted_bits(64, 0)
+
+
+class TestTables:
+    def test_comparison_table_columns(self):
+        rows = comparison_table([16, 64])
+        assert len(rows) == 2
+        assert {"n", "ciw_bits", "burman_sim_bits", "burman_quoted_bits"} <= set(rows[0])
+
+    def test_frontier_headline_crossover(self):
+        """The paper's headline: at the time-optimal end, ours needs
+        massively fewer bits than the quoted Sublinear-Time-SSR."""
+        rows = tradeoff_frontier(1024)
+        fastest = min(rows, key=lambda row: row["ours_parallel_time"])
+        assert fastest["ours_bits"] < fastest["their_bits_quoted"] / 1e6
+
+    def test_frontier_times_comparable(self):
+        """Paired rows match time targets within an order of magnitude."""
+        for row in tradeoff_frontier(256):
+            ours = row["ours_parallel_time"]
+            theirs = row["their_parallel_time"]
+            assert theirs <= ours * 10 or ours <= theirs * 10

@@ -1,0 +1,95 @@
+"""Tests for the synthetic-coin substrate (Appendix B, Lemma B.1)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.scheduler.rng import make_rng
+from repro.substrates.synthetic_coin import (
+    SyntheticCoinPopulation,
+    SyntheticCoinState,
+    bits_needed,
+)
+
+
+class TestBitsNeeded:
+    def test_powers_of_two(self):
+        assert bits_needed(2) == 1
+        assert bits_needed(16) == 4
+        assert bits_needed(64) == 6
+
+    def test_non_powers_round_up(self):
+        assert bits_needed(3) == 2
+        assert bits_needed(17) == 5
+
+    def test_rejects_trivial_space(self):
+        with pytest.raises(ValueError):
+            bits_needed(1)
+
+
+class TestMechanics:
+    def test_interaction_flips_both_coins(self):
+        population = SyntheticCoinPopulation(4, value_space=4, rng=make_rng(0))
+        before = [s.coin for s in population.states]
+        population.interact(0, 1)
+        assert population.states[0].coin == 1 - before[0]
+        assert population.states[1].coin == 1 - before[1]
+        assert population.states[2].coin == before[2]
+
+    def test_interaction_records_partner_coin(self):
+        population = SyntheticCoinPopulation(4, value_space=4, rng=make_rng(0))
+        population.states[1].coin = 1
+        population.interact(0, 1)
+        u = population.states[0]
+        # The slot written this interaction holds the partner's pre-flip coin.
+        assert u.coins[u.coin_count] == 1
+
+    def test_counter_cycles(self):
+        population = SyntheticCoinPopulation(2, value_space=16, rng=make_rng(0))
+        k = population.k
+        for _ in range(k):
+            population.interact(0, 1)
+        assert population.states[0].coin_count == 0  # wrapped around
+
+    def test_requires_two_agents(self):
+        with pytest.raises(ValueError):
+            SyntheticCoinPopulation(1, value_space=4, rng=make_rng(0))
+
+    def test_state_clone(self):
+        state = SyntheticCoinState(coin=1, coins=[0, 1], coin_count=1)
+        copy = state.clone()
+        copy.coins[0] = 1
+        assert state.coins[0] == 0
+
+
+class TestDistribution:
+    def test_coin_balance_converges_to_half(self):
+        """Coins start maximally biased (all 0) and must approach 1/2."""
+        population = SyntheticCoinPopulation(256, value_space=16, rng=make_rng(1))
+        assert population.coin_balance() == 0.0
+        population.run(20_000)
+        assert abs(population.coin_balance() - 0.5) < 0.1
+
+    def test_sample_envelope_almost_uniform(self):
+        """Lemma B.1: P[x] ∈ [1/(2N), 2/N] for every value x ∈ [N].
+
+        We pool samples across agents and reads after a warm-up and allow a
+        small statistical margin beyond the envelope."""
+        n, N = 128, 8
+        population = SyntheticCoinPopulation(n, value_space=N, rng=make_rng(2))
+        population.run(30_000)  # warm-up: O(n log N)
+        samples = population.collect_samples(reads=30, spacing_interactions=n * 4)
+        counts = Counter(samples)
+        total = len(samples)
+        assert set(counts) <= set(range(N))
+        for value in range(N):
+            frequency = counts.get(value, 0) / total
+            assert frequency > 1 / (2 * N) * 0.5, f"value {value} too rare: {frequency}"
+            assert frequency < 2 / N * 1.5, f"value {value} too common: {frequency}"
+
+    def test_sample_value_encoding(self):
+        population = SyntheticCoinPopulation(2, value_space=8, rng=make_rng(0))
+        population.states[0].coins = [1, 0, 1]
+        assert population.sample_value(0) == 0b101

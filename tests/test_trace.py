@@ -1,0 +1,76 @@
+"""Tests for the structured protocol tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.initializers import all_duplicate_rank, corrupted_messages
+from repro.core.elect_leader import ElectLeader
+from repro.core.params import ProtocolParams
+from repro.scheduler.rng import make_rng
+from repro.sim.simulation import Simulation
+from repro.sim.trace import ProtocolTracer
+
+
+@pytest.fixture
+def protocol() -> ElectLeader:
+    return ElectLeader(ProtocolParams(n=12, r=3))
+
+
+def traced_run(protocol: ElectLeader, config, seed: int, budget: int) -> ProtocolTracer:
+    sim = Simulation(protocol, config=config, n=None if config else protocol.n, seed=seed)
+    tracer = ProtocolTracer(protocol)
+    sim.observers.append(tracer.observe)
+    sim.run_until(protocol.is_safe_configuration, max_interactions=budget, check_interval=1_000)
+    return tracer
+
+
+class TestTracer:
+    def test_clean_run_traces_role_changes_only(self, protocol):
+        tracer = traced_run(protocol, None, seed=1, budget=5_000_000)
+        summary = tracer.summary()
+        assert summary.get("role_change", 0) >= protocol.n  # every ranker verified
+        assert summary.get("hard_reset", 0) == 0
+        assert summary.get("soft_reset", 0) == 0
+        assert summary.get("generation_change", 0) == 0
+
+    def test_duplicate_leaders_trace_top_and_resets(self, protocol):
+        config = all_duplicate_rank(protocol, make_rng(2), rank=1)
+        tracer = traced_run(protocol, config, seed=3, budget=5_000_000)
+        summary = tracer.summary()
+        assert summary.get("hard_reset", 0) >= 1
+        # The hard reset shows up as verifier → resetter role changes.
+        kinds = {event.detail for event in tracer.events if event.kind == "role_change"}
+        assert any("resetting" in detail for detail in kinds)
+
+    def test_soft_reset_traces_generation_changes(self, protocol):
+        config = corrupted_messages(protocol, make_rng(4), corruptions=3)
+        for agent in config:
+            assert agent.sv is not None
+            agent.sv.probation_timer = 0
+        tracer = traced_run(protocol, config, seed=5, budget=5_000_000)
+        summary = tracer.summary()
+        assert summary.get("generation_change", 0) >= 1
+        # Ranks must never change on the soft path.
+        assert summary.get("rank_change", 0) == 0
+
+    def test_timeline_rendering(self, protocol):
+        tracer = traced_run(protocol, None, seed=6, budget=5_000_000)
+        text = tracer.timeline(last=5)
+        assert "role_change" in text
+        lines = text.splitlines()
+        assert len(lines) <= 5
+
+    def test_empty_timeline(self, protocol):
+        tracer = ProtocolTracer(protocol)
+        assert tracer.timeline() == "(no events)"
+
+    def test_ring_buffer_capacity(self, protocol):
+        tracer = ProtocolTracer(protocol, capacity=3)
+        config = all_duplicate_rank(protocol, make_rng(7), rank=1)
+        sim = Simulation(protocol, config=config, seed=8)
+        sim.observers.append(tracer.observe)
+        sim.run(20_000)
+        assert len(tracer.events) <= 3
+        # Counts still accumulate beyond the buffer.
+        assert sum(tracer.summary().values()) >= len(tracer.events)

@@ -1,0 +1,118 @@
+"""Tests for the multi-trial runner and table formatting."""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines.nonss_leader import PairwiseElimination
+from repro.sim.trials import TrialSummary, format_table, run_trials
+
+
+class TestRunTrials:
+    def test_aggregates_converged_trials(self):
+        protocol = PairwiseElimination(12)
+        summary = run_trials(
+            protocol,
+            protocol.is_goal_configuration,
+            n=12,
+            trials=6,
+            max_interactions=200_000,
+            seed=3,
+        )
+        assert summary.trials == 6
+        assert summary.converged == 6
+        assert summary.success_rate == 1.0
+        assert len(summary.parallel_times) == 6
+        assert summary.median_time > 0
+
+    def test_reports_failures(self):
+        protocol = PairwiseElimination(12)
+        summary = run_trials(
+            protocol,
+            lambda config: False,
+            n=12,
+            trials=3,
+            max_interactions=50,
+            seed=3,
+        )
+        assert summary.converged == 0
+        assert summary.success_rate == 0.0
+        assert math.isnan(summary.median_time)
+        assert math.isnan(summary.p95_time)
+
+    def test_config_factory_used(self):
+        protocol = PairwiseElimination(6)
+
+        def factory(index: int):
+            config = [protocol.initial_state() for _ in range(6)]
+            for state in config[1:]:
+                state.leader = False
+            return config  # already converged
+
+        summary = run_trials(
+            protocol,
+            protocol.is_goal_configuration,
+            n=6,
+            trials=4,
+            max_interactions=10,
+            config_factory=factory,
+        )
+        assert summary.converged == 4
+        assert all(t == 0 for t in summary.parallel_times)
+
+    def test_deterministic_given_seed(self):
+        protocol = PairwiseElimination(10)
+        a = run_trials(
+            protocol, protocol.is_goal_configuration, n=10, trials=4,
+            max_interactions=100_000, seed=9,
+        )
+        b = run_trials(
+            protocol, protocol.is_goal_configuration, n=10, trials=4,
+            max_interactions=100_000, seed=9,
+        )
+        assert a.interactions == b.interactions
+
+    def test_label_defaults_to_protocol_name(self):
+        protocol = PairwiseElimination(6)
+        summary = run_trials(
+            protocol, protocol.is_goal_configuration, n=6, trials=1,
+            max_interactions=100_000,
+        )
+        assert summary.label == protocol.name
+
+
+class TestSummaryStatistics:
+    def test_percentiles(self):
+        summary = TrialSummary(
+            label="x",
+            n=4,
+            trials=5,
+            converged=5,
+            interactions=[10, 20, 30, 40, 50],
+            parallel_times=[1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        assert summary.median_time == 3.0
+        assert summary.p95_time == 5.0
+        assert summary.mean_time == 3.0
+        assert summary.median_interactions == 30
+
+    def test_as_row_keys(self):
+        summary = TrialSummary("x", 4, 1, 1, [10], [1.0])
+        row = summary.as_row()
+        assert set(row) == {
+            "label", "n", "trials", "success_rate",
+            "median_interactions", "median_time", "p95_time",
+        }
+
+
+class TestFormatTable:
+    def test_renders_columns(self):
+        rows = [{"a": 1, "bb": "xy"}, {"a": 222, "bb": "z"}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert "222" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="T")

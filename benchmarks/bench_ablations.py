@@ -44,7 +44,9 @@ def _single_duplicate_config(protocol: DetectCollisionProtocol, seed: int):
     return config
 
 
-def _detection_median(protocol: DetectCollisionProtocol, seed_base: int, budget: int) -> tuple[float, float]:
+def _detection_median(
+    protocol: DetectCollisionProtocol, seed_base: int, budget: int
+) -> tuple[float, float]:
     times = []
     successes = 0
     for trial in range(TRIALS):

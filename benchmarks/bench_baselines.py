@@ -20,7 +20,7 @@ Shapes to reproduce (the paper's positioning):
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import WORKERS, run_once
 
 from repro.analysis.theory import fit_power_law
 from repro.baselines.cai_izumi_wada import CaiIzumiWada
@@ -63,6 +63,7 @@ def measure_protocol(name: str, n: int) -> dict[str, object]:
         seed=7000 + n,
         check_interval=check,
         label=name,
+        workers=WORKERS,
     )
     return {
         "protocol": name,

@@ -84,5 +84,7 @@ def test_e5_detection_latency(benchmark, record_table):
         sweep.sort(key=lambda row: row["duplicates"])
         assert sweep[0]["median_interactions"] >= sweep[-1]["median_interactions"] * 0.8
     # Larger r detects faster in the single-duplicate regime.
-    singles = {row["r"]: float(row["median_interactions"]) for row in rows if row["duplicates"] == 1}
+    singles = {
+        row["r"]: float(row["median_interactions"]) for row in rows if row["duplicates"] == 1
+    }
     assert singles[8] < singles[2] * 1.2

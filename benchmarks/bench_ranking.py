@@ -9,7 +9,7 @@ with r at fixed n, and success rate 1 (the w.h.p. claim).
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import WORKERS, run_once
 
 from repro.analysis.theory import assign_ranks_interactions, fit_power_law
 from repro.core.assign_ranks import AssignRanksProtocol
@@ -30,6 +30,7 @@ def measure(n: int, r: int, seed: int) -> dict[str, object]:
         seed=seed,
         check_interval=500,
         label=f"n={n},r={r}",
+        workers=WORKERS,
     )
     predicted = assign_ranks_interactions(n, r)
     return {

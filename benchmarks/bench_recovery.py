@@ -12,7 +12,7 @@ rank-level corruptions pay for a full reset plus re-ranking.
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import WORKERS, run_once
 
 from repro.adversary.initializers import ADVERSARIES
 from repro.analysis.theory import elect_leader_interactions
@@ -48,6 +48,7 @@ def test_e4_recovery_per_adversary(benchmark, record_table):
                 check_interval=1000,
                 config_factory=factory,
                 label=name,
+                workers=WORKERS,
             )
             rows.append(
                 {

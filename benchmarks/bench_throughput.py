@@ -13,7 +13,7 @@ interaction.
 
 from __future__ import annotations
 
-import itertools
+from conftest import fast_scaled
 
 from repro.adversary.initializers import correct_verifier_configuration
 from repro.baselines.cai_izumi_wada import CaiIzumiWada
@@ -23,7 +23,7 @@ from repro.scheduler.rng import make_rng
 from repro.scheduler.scheduler import RandomScheduler
 from repro.substrates.epidemics import EpidemicProtocol
 
-INTERACTIONS = 2_000
+INTERACTIONS = fast_scaled(2_000, 500)
 
 
 def _runner(protocol, config):

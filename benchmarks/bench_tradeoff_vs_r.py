@@ -10,7 +10,7 @@ trade-off of Theorem 1.1.
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import WORKERS, run_once
 
 from repro.analysis.statespace import elect_leader_bits
 from repro.analysis.theory import (
@@ -41,6 +41,7 @@ def test_e3_tradeoff_vs_r(benchmark, record_table):
                 seed=3000 + r,
                 check_interval=1000,
                 label=f"r={r}",
+                workers=WORKERS,
             )
             rows.append(
                 {

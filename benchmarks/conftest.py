@@ -15,18 +15,42 @@ Each ``bench_*.py`` module regenerates one experiment from DESIGN.md §4
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Two environment knobs control the execution substrate (see
+:mod:`repro.sim.parallel`):
+
+* ``REPRO_BENCH_WORKERS`` — worker processes for trial fan-out in every
+  ``run_trials``-based experiment (unset or ``0`` = one per CPU; ``1`` =
+  sequential).  Results are bit-identical for any worker count; only
+  wall-clock changes.
+* ``REPRO_BENCH_FAST=1`` — CI smoke mode: experiments that opt in via
+  :func:`fast_scaled` trim their sweeps to minutes-scale budgets.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
-from typing import Sequence
+from typing import Sequence, TypeVar
 
 import pytest
 
 from repro.sim.trials import format_table
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Worker processes for run_trials fan-out (0/unset = one per CPU).
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) or None
+
+#: CI smoke mode — trimmed sweeps for pre-merge engine-regression checks.
+FAST = os.environ.get("REPRO_BENCH_FAST", "") == "1"
+
+T = TypeVar("T")
+
+
+def fast_scaled(value: T, fast_value: T) -> T:
+    """The experiment parameter, or its trimmed variant in smoke mode."""
+    return fast_value if FAST else value
 
 
 @pytest.fixture

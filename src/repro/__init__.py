@@ -29,6 +29,7 @@ from repro.core.partition import RankPartition
 from repro.core.protocol import PopulationProtocol, RankingProtocol
 from repro.core.roles import Role
 from repro.scheduler.rng import make_rng, spawn_rngs
+from repro.sim.parallel import TrialOutcome, TrialSpec, run_trial_specs
 from repro.sim.simulation import Simulation, SimulationResult, run_until
 from repro.sim.trials import TrialSummary, format_table, run_trials
 
@@ -47,6 +48,9 @@ __all__ = [
     "run_until",
     "run_trials",
     "TrialSummary",
+    "TrialSpec",
+    "TrialOutcome",
+    "run_trial_specs",
     "format_table",
     "make_rng",
     "spawn_rngs",

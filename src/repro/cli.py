@@ -7,7 +7,11 @@ Four subcommands mirror the library's main entry points:
 * ``tradeoff``  — sweep r at fixed n and print the measured trade-off;
 * ``statespace`` — print the analytic bit-complexity comparison table.
 
-All commands are deterministic given ``--seed``.
+All commands are deterministic given ``--seed`` — including ``tradeoff``
+under ``--workers N``: trials fan out over a process pool but each trial's
+randomness comes from its own derived seed, so worker count never changes
+the numbers.  ``--batch`` sets the convergence-check interval, which is
+also the batch size of the simulator's observer-free fast path.
 """
 
 from __future__ import annotations
@@ -26,6 +30,20 @@ from repro.sim.simulation import Simulation
 from repro.sim.trials import format_table, run_trials
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _workers_count(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0 (0 = one per CPU), got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -34,11 +52,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    batch_help = "interactions per convergence check (the fast-path batch size)"
+    workers_help = "worker processes for trial fan-out (0 = one per CPU)"
+
     run = sub.add_parser("run", help="stabilize from a clean start")
     run.add_argument("-n", type=int, default=32, help="population size")
     run.add_argument("-r", type=int, default=4, help="trade-off parameter")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--max-interactions", type=int, default=20_000_000)
+    run.add_argument("--batch", type=_positive_int, default=1_000, help=batch_help)
 
     recover = sub.add_parser("recover", help="stabilize from an adversarial start")
     recover.add_argument("adversary", choices=sorted(ADVERSARIES))
@@ -46,11 +68,14 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument("-r", type=int, default=4)
     recover.add_argument("--seed", type=int, default=0)
     recover.add_argument("--max-interactions", type=int, default=40_000_000)
+    recover.add_argument("--batch", type=_positive_int, default=1_000, help=batch_help)
 
     tradeoff = sub.add_parser("tradeoff", help="sweep r at fixed n")
     tradeoff.add_argument("-n", type=int, default=36)
     tradeoff.add_argument("--trials", type=int, default=5)
     tradeoff.add_argument("--seed", type=int, default=0)
+    tradeoff.add_argument("--workers", type=_workers_count, default=1, help=workers_help)
+    tradeoff.add_argument("--batch", type=_positive_int, default=1_000, help=batch_help)
 
     statespace = sub.add_parser("statespace", help="bit-complexity comparison")
     statespace.add_argument(
@@ -60,10 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _stabilize(protocol: ElectLeader, config, seed: int, budget: int) -> int:
+def _stabilize(
+    protocol: ElectLeader, config, seed: int, budget: int, batch: int = 1_000
+) -> int:
     sim = Simulation(protocol, config=config, n=None if config else protocol.n, seed=seed)
     result = sim.run_until(
-        protocol.is_safe_configuration, max_interactions=budget, check_interval=1_000
+        protocol.is_safe_configuration, max_interactions=budget, check_interval=batch
     )
     if not result.converged:
         print(f"did NOT stabilize within {budget} interactions", file=sys.stderr)
@@ -84,7 +111,7 @@ def _stabilize(protocol: ElectLeader, config, seed: int, budget: int) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     protocol = ElectLeader(ProtocolParams(n=args.n, r=args.r))
     print(f"ElectLeader_r: n={args.n} r={args.r} seed={args.seed} (clean start)")
-    return _stabilize(protocol, None, args.seed, args.max_interactions)
+    return _stabilize(protocol, None, args.seed, args.max_interactions, args.batch)
 
 
 def cmd_recover(args: argparse.Namespace) -> int:
@@ -94,7 +121,7 @@ def cmd_recover(args: argparse.Namespace) -> int:
         f"ElectLeader_r: n={args.n} r={args.r} seed={args.seed} "
         f"(adversary: {args.adversary})"
     )
-    return _stabilize(protocol, config, args.seed + 1, args.max_interactions)
+    return _stabilize(protocol, config, args.seed + 1, args.max_interactions, args.batch)
 
 
 def cmd_tradeoff(args: argparse.Namespace) -> int:
@@ -112,8 +139,9 @@ def cmd_tradeoff(args: argparse.Namespace) -> int:
             trials=args.trials,
             max_interactions=50_000_000,
             seed=args.seed + r,
-            check_interval=1_000,
+            check_interval=args.batch,
             label=f"r={r}",
+            workers=args.workers,
         )
         rows.append(
             {

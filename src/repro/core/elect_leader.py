@@ -147,7 +147,8 @@ class ElectLeader(RankingProtocol):
         if not self.all_verifiers(config):
             return None
         assert all(s.sv is not None for s in config)
-        return {s.sv.generation % self.params.generations for s in config}  # type: ignore[union-attr]
+        generations = self.params.generations
+        return {s.sv.generation % generations for s in config}  # type: ignore[union-attr]
 
     def is_safe_configuration(self, config: Sequence[AgentState]) -> bool:
         """A checkable, absorbing strengthening of ``𝒞_safe`` (Lemma 6.1).
@@ -166,7 +167,8 @@ class ElectLeader(RankingProtocol):
             return False
         if not self.ranking_correct(config):
             return False
-        generations = {s.sv.generation % self.params.generations for s in config}  # type: ignore[union-attr]
+        modulus = self.params.generations
+        generations = {s.sv.generation % modulus for s in config}  # type: ignore[union-attr]
         if len(generations) != 1:
             return False
         pairs = []

@@ -38,6 +38,28 @@ class RandomScheduler:
             j += 1
         return i, j
 
+    def next_pairs(self, count: int) -> list[tuple[int, int]]:
+        """``count`` independent pairs drawn in one call (batched fast path).
+
+        Consumes the RNG stream exactly as ``count`` calls to
+        :meth:`next_pair` would, so batched and stepwise executions of the
+        same seed are bit-identical.  The loop keeps everything in locals:
+        one attribute lookup per batch instead of several per interaction.
+        """
+        if count < 0:
+            raise ValueError(f"pair count must be non-negative, got {count}")
+        randrange = self._rng.randrange
+        n = self.n
+        pairs: list[tuple[int, int]] = []
+        append = pairs.append
+        for _ in range(count):
+            i = randrange(n)
+            j = randrange(n - 1)
+            if j >= i:
+                j += 1
+            append((i, j))
+        return pairs
+
     def pairs(self, count: int) -> Iterator[tuple[int, int]]:
         """A stream of ``count`` independent pairs."""
         for _ in range(count):

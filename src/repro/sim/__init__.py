@@ -10,6 +10,7 @@ from repro.sim.convergence import (
 )
 from repro.sim.faults import AvailabilityReport, FaultInjector, measure_availability
 from repro.sim.metrics import Metrics
+from repro.sim.parallel import TrialOutcome, TrialSpec, resolve_workers, run_trial, run_trial_specs
 from repro.sim.replay import replay, record_and_replay_matches
 from repro.sim.simulation import Simulation, SimulationResult, run_until
 from repro.sim.trace import ProtocolTracer, TraceEvent
@@ -23,6 +24,11 @@ __all__ = [
     "TrialSummary",
     "run_trials",
     "format_table",
+    "TrialSpec",
+    "TrialOutcome",
+    "run_trial",
+    "run_trial_specs",
+    "resolve_workers",
     "replay",
     "record_and_replay_matches",
     "SilenceDetector",

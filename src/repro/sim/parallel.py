@@ -1,0 +1,132 @@
+"""Parallel trial execution — fan independent trials out over processes.
+
+The paper's guarantees are w.h.p. statements, so every experiment in this
+repository reduces to many independent seeded trials; those trials are
+embarrassingly parallel.  This module is the execution substrate under
+:func:`repro.sim.trials.run_trials`:
+
+* a :class:`TrialSpec` is a picklable, fully-determined work item — the
+  protocol, the convergence predicate, an optional explicit start
+  configuration, and a child seed already derived in the parent via
+  :func:`repro.scheduler.rng.derive_seed` (so seed derivation never
+  depends on which process runs the trial);
+* :func:`run_trial` executes one spec and ships back a light-weight
+  :class:`TrialOutcome` (no configurations cross the process boundary);
+* :func:`run_trial_specs` executes a batch on a ``ProcessPoolExecutor``,
+  chunking specs to amortize pickling, and returns outcomes **in spec
+  order** regardless of completion order — ``seed → results`` is therefore
+  bit-identical to the sequential runner for any worker count.
+
+Closures and lambdas do not pickle; when a spec is unpicklable (common in
+tests that pass ``lambda config: False``) the batch silently degrades to
+in-process execution, which is always semantically equivalent.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.core.protocol import PopulationProtocol
+from repro.sim.simulation import ConfigPredicate, run_until
+
+
+@dataclass
+class TrialSpec:
+    """One fully-determined trial, picklable for process fan-out."""
+
+    index: int
+    protocol: PopulationProtocol
+    predicate: ConfigPredicate
+    seed: int
+    max_interactions: int
+    check_interval: int = 1
+    config: Optional[list[Any]] = None
+    n: Optional[int] = None
+
+
+@dataclass
+class TrialOutcome:
+    """The light-weight per-trial result shipped back from a worker."""
+
+    index: int
+    converged: bool
+    interactions: int
+    parallel_time: float
+
+
+def run_trial(spec: TrialSpec) -> TrialOutcome:
+    """Execute one spec (in whichever process it landed)."""
+    result = run_until(
+        spec.protocol,
+        spec.predicate,
+        config=spec.config,
+        n=spec.n,
+        seed=spec.seed,
+        max_interactions=spec.max_interactions,
+        check_interval=spec.check_interval,
+    )
+    return TrialOutcome(
+        index=spec.index,
+        converged=result.converged,
+        interactions=result.interactions,
+        parallel_time=result.parallel_time,
+    )
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker-count request: ``None``/``0`` → one per CPU."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be positive (or None/0 for auto), got {workers}")
+    return workers
+
+
+def _picklable(specs: Sequence[TrialSpec]) -> bool:
+    # Specs differ per trial (config_factory-built configurations), so
+    # every one must cross the process boundary — probe them all, one at
+    # a time so the throwaway blobs never accumulate.
+    try:
+        for spec in specs:
+            pickle.dumps(spec)
+    except Exception:
+        return False
+    return True
+
+
+def run_trial_specs(
+    specs: Iterable[TrialSpec],
+    workers: Optional[int] = 1,
+) -> list[TrialOutcome]:
+    """Execute specs on ``workers`` processes; outcomes come back in spec order.
+
+    ``workers=1`` (the default) runs in-process with zero pool overhead,
+    consuming ``specs`` lazily — a generator of specs is built, run, and
+    discarded one trial at a time, so peak memory stays O(one config).
+    ``workers=None`` or ``0`` uses one worker per CPU.  Unpicklable specs
+    (lambda predicates, closure-built protocols) degrade to in-process
+    execution with a warning rather than failing.
+    """
+    if resolve_workers(workers) <= 1:
+        return [run_trial(spec) for spec in specs]
+    spec_list = list(specs)
+    worker_count = min(resolve_workers(workers), len(spec_list))
+    if worker_count <= 1 or len(spec_list) <= 1:
+        return [run_trial(spec) for spec in spec_list]
+    if not _picklable(spec_list):
+        warnings.warn(
+            "trial specs are not picklable (lambda/closure predicate or protocol?); "
+            "falling back to sequential execution",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [run_trial(spec) for spec in spec_list]
+    # Chunk so each IPC round-trip carries several trials' worth of work.
+    chunksize = max(1, len(spec_list) // (worker_count * 4))
+    with ProcessPoolExecutor(max_workers=worker_count) as pool:
+        return list(pool.map(run_trial, spec_list, chunksize=chunksize))

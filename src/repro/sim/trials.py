@@ -4,6 +4,13 @@ The paper's guarantees are "with high probability" statements; at finite
 ``n`` we estimate the corresponding quantiles by running many independent
 seeded trials and reporting median / p95 alongside the success rate within
 the interaction budget.
+
+Trials are independent by construction (each gets a child seed via
+:func:`derive_seed` and, when a ``config_factory`` is supplied, its own
+start configuration built in the parent), so execution is delegated to
+:mod:`repro.sim.parallel`: ``workers=1`` runs in-process exactly as the
+original sequential runner did, ``workers>1`` fans the same specs out over
+a process pool with bit-identical results.
 """
 
 from __future__ import annotations
@@ -14,7 +21,8 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.core.protocol import PopulationProtocol
 from repro.scheduler.rng import derive_seed
-from repro.sim.simulation import ConfigPredicate, SimulationResult, run_until
+from repro.sim.parallel import TrialSpec, run_trial_specs
+from repro.sim.simulation import ConfigPredicate
 
 #: Builds a fresh initial configuration for trial ``index`` (or None for clean).
 ConfigFactory = Callable[[int], Optional[list[Any]]]
@@ -78,31 +86,45 @@ def run_trials(
     check_interval: int = 1,
     config_factory: Optional[ConfigFactory] = None,
     label: str = "",
+    workers: Optional[int] = 1,
 ) -> TrialSummary:
     """Run ``trials`` independent seeded executions and aggregate.
 
     Only converged trials contribute to the time statistics; the success
     rate reports how many converged within the interaction budget (the
     empirical stand-in for the paper's w.h.p. qualifier).
+
+    ``workers`` selects the execution substrate: ``1`` (default) runs
+    in-process, ``>1`` fans trials out over that many worker processes,
+    ``None``/``0`` uses one worker per CPU.  The summary is identical for
+    every worker count — each trial is determined by its derived seed, and
+    outcomes are aggregated in trial order.
     """
-    interactions: list[float] = []
-    times: list[float] = []
-    converged = 0
-    for index in range(trials):
+    def build_spec(index: int) -> TrialSpec:
         config = config_factory(index) if config_factory is not None else None
-        result: SimulationResult = run_until(
-            protocol,
-            predicate,
-            config=config,
-            n=None if config is not None else n,
+        return TrialSpec(
+            index=index,
+            protocol=protocol,
+            predicate=predicate,
             seed=derive_seed(seed, index),
             max_interactions=max_interactions,
             check_interval=check_interval,
+            config=config,
+            n=None if config is not None else n,
         )
-        if result.converged:
+
+    # A generator keeps the sequential path at O(one config) peak memory:
+    # each spec is built, run, and discarded in turn.  The parallel path
+    # materializes the list (the pool needs every spec up front anyway).
+    specs = (build_spec(index) for index in range(trials))
+    interactions: list[float] = []
+    times: list[float] = []
+    converged = 0
+    for outcome in run_trial_specs(specs, workers=workers):
+        if outcome.converged:
             converged += 1
-            interactions.append(result.interactions)
-            times.append(result.parallel_time)
+            interactions.append(outcome.interactions)
+            times.append(outcome.parallel_time)
     return TrialSummary(
         label=label or protocol.name,
         n=n,

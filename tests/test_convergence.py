@@ -8,7 +8,6 @@ from repro.baselines.cai_izumi_wada import CaiIzumiWada, CIWState
 from repro.baselines.nonss_leader import PairwiseElimination
 from repro.core.params import BaselineParams
 from repro.scheduler.rng import make_rng
-from repro.scheduler.scheduler import RecordedSchedule
 from repro.sim.convergence import (
     SilenceDetector,
     all_of,
@@ -38,8 +37,12 @@ class TestPredicates:
         assert not correct_ranking(protocol)(bad)
 
     def test_all_of_and_any_of(self):
-        always = lambda config: True
-        never = lambda config: False
+        def always(config):
+            return True
+
+        def never(config):
+            return False
+
         assert all_of(always, always)([])
         assert not all_of(always, never)([])
         assert any_of(never, always)([])

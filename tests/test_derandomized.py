@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.derandomized import (
     CoinBackedSampler,
-    DerandomizedDCState,
     DerandomizedDetectCollisionProtocol,
 )
 from repro.core.params import ProtocolParams

@@ -217,7 +217,8 @@ class TestBalanceLoad:
         assert abs(a.held_count() - b.held_count()) <= a.held_count() + b.held_count()
         assert a.held_count() + b.held_count() == total
         # Both sides end with roughly half.
-        assert min(a.held_count(), b.held_count()) >= total // 2 - len(list(partition.group_ranks(0)))
+        group_size = len(list(partition.group_ranks(0)))
+        assert min(a.held_count(), b.held_count()) >= total // 2 - group_size
 
 
 class TestSoundness:

@@ -12,7 +12,7 @@ from repro.core.fast_leader_elect import (
 )
 from repro.core.params import ProtocolParams
 from repro.core.state import ARState
-from repro.scheduler.rng import derive_seed, make_rng
+from repro.scheduler.rng import derive_seed
 from repro.sim.simulation import Simulation
 
 

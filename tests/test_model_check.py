@@ -24,7 +24,6 @@ from repro.core.params import BaselineParams, ProtocolParams
 from repro.core.propagate_reset import propagate_reset, trigger_reset
 from repro.core.roles import Role
 from repro.core.state import AgentState, PRState
-from repro.scheduler.rng import make_rng
 from repro.substrates.epidemics import EpidemicProtocol, MarkState
 from repro.verify.model_check import (
     ForbiddenRNG,

@@ -1,0 +1,214 @@
+"""Tests for the batched fast path and the parallel trial engine.
+
+The two contracts under test:
+
+* batching never changes semantics — ``run_batch(k)`` (and the
+  ``next_pairs`` draw under it) consumes the RNG streams exactly like
+  ``k`` calls of ``step()``, so batched and stepwise runs of one seed are
+  bit-identical;
+* worker count never changes results — ``run_trials`` aggregates the
+  same ``TrialSummary`` for any ``workers`` value, because every trial is
+  fully determined by its derived seed and outcomes merge in trial order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.nonss_leader import PairwiseElimination
+from repro.scheduler.rng import derive_seed, make_rng
+from repro.scheduler.scheduler import RandomScheduler
+from repro.sim import simulation as simulation_module
+from repro.sim.parallel import (
+    TrialSpec,
+    resolve_workers,
+    run_trial,
+    run_trial_specs,
+)
+from repro.sim.simulation import Simulation
+from repro.sim.trials import run_trials
+
+
+@pytest.fixture
+def protocol() -> PairwiseElimination:
+    return PairwiseElimination(10)
+
+
+class TestNextPairs:
+    def test_matches_stepwise_draws(self):
+        batched = RandomScheduler(9, make_rng(7))
+        stepwise = RandomScheduler(9, make_rng(7))
+        assert batched.next_pairs(250) == [stepwise.next_pair() for _ in range(250)]
+
+    def test_leaves_rng_in_same_state(self):
+        batched = RandomScheduler(9, make_rng(7))
+        stepwise = RandomScheduler(9, make_rng(7))
+        batched.next_pairs(50)
+        for _ in range(50):
+            stepwise.next_pair()
+        assert batched.next_pair() == stepwise.next_pair()
+
+    def test_empty_batch(self):
+        scheduler = RandomScheduler(5, make_rng(0))
+        assert scheduler.next_pairs(0) == []
+
+    def test_rejects_negative_count(self):
+        scheduler = RandomScheduler(5, make_rng(0))
+        with pytest.raises(ValueError):
+            scheduler.next_pairs(-1)
+
+
+class TestRunBatch:
+    def test_bit_identical_to_stepwise(self, protocol):
+        stepped = Simulation(protocol, n=10, seed=11)
+        batched = Simulation(protocol, n=10, seed=11)
+        for _ in range(300):
+            stepped.step()
+        batched.run_batch(300)
+        assert [s.leader for s in stepped.config] == [s.leader for s in batched.config]
+        assert stepped.metrics.interactions == batched.metrics.interactions == 300
+        # Both RNG streams were consumed identically: continuations agree.
+        stepped.run_batch(100)
+        for _ in range(100):
+            batched.step()
+        assert [s.leader for s in stepped.config] == [s.leader for s in batched.config]
+
+    def test_observers_force_per_step_path(self, protocol):
+        sim = Simulation(protocol, n=10, seed=3)
+        counts: list[int] = []
+        sim.observers.append(lambda s, i, j: counts.append(s.metrics.interactions))
+        sim.run_batch(25)
+        # Observers see every interaction, with the counter already bumped.
+        assert counts == list(range(1, 26))
+
+    def test_rejects_negative_count(self, protocol):
+        sim = Simulation(protocol, n=10, seed=3)
+        with pytest.raises(ValueError):
+            sim.run_batch(-5)
+
+    def test_large_batches_are_chunked(self, protocol, monkeypatch):
+        # Batches beyond MAX_BATCH_DRAW materialize pairs chunk by chunk
+        # (bounded memory); the RNG streams and results are unchanged.
+        monkeypatch.setattr(simulation_module, "MAX_BATCH_DRAW", 64)
+        chunked = Simulation(protocol, n=10, seed=21)
+        chunked.run_batch(300)
+        monkeypatch.undo()
+        whole = Simulation(protocol, n=10, seed=21)
+        whole.run_batch(300)
+        assert [s.leader for s in chunked.config] == [s.leader for s in whole.config]
+        assert chunked.metrics.interactions == whole.metrics.interactions == 300
+
+    def test_run_until_unchanged_by_batching(self, protocol):
+        # run_until now routes bursts through run_batch; the convergence
+        # point must be exactly where the per-step loop found it.
+        fast = Simulation(protocol, n=10, seed=1)
+        result = fast.run_until(protocol.is_goal_configuration, 100_000, check_interval=64)
+        slow = Simulation(protocol, n=10, seed=1)
+        slow.observers.append(lambda s, i, j: None)  # forces the per-step path
+        reference = slow.run_until(protocol.is_goal_configuration, 100_000, check_interval=64)
+        assert result.converged and reference.converged
+        assert result.interactions == reference.interactions
+
+
+class TestResolveWorkers:
+    def test_auto_modes_use_cpu_count(self):
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) == resolve_workers(None)
+
+    def test_explicit_count_passthrough(self):
+        assert resolve_workers(3) == 3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+
+class TestTrialSpecs:
+    def _specs(self, protocol, count):
+        return [
+            TrialSpec(
+                index=index,
+                protocol=protocol,
+                predicate=protocol.is_goal_configuration,
+                seed=derive_seed(17, index),
+                max_interactions=100_000,
+                check_interval=8,
+                n=10,
+            )
+            for index in range(count)
+        ]
+
+    def test_run_trial_preserves_index(self, protocol):
+        outcome = run_trial(self._specs(protocol, 3)[2])
+        assert outcome.index == 2
+        assert outcome.converged
+        assert outcome.parallel_time == outcome.interactions / 10
+
+    def test_pool_returns_spec_order(self, protocol):
+        specs = self._specs(protocol, 6)
+        sequential = run_trial_specs(specs, workers=1)
+        pooled = run_trial_specs(specs, workers=2)
+        assert [o.index for o in pooled] == list(range(6))
+        assert pooled == sequential
+
+
+class TestRunTrialsWorkers:
+    def _summary(self, protocol, workers):
+        return run_trials(
+            protocol,
+            protocol.is_goal_configuration,
+            n=10,
+            trials=6,
+            max_interactions=100_000,
+            seed=9,
+            check_interval=8,
+            workers=workers,
+        )
+
+    def test_worker_count_invariance(self, protocol):
+        baseline = self._summary(protocol, 1)
+        for workers in (2, 4, None):
+            summary = self._summary(protocol, workers)
+            assert summary.converged == baseline.converged
+            assert summary.interactions == baseline.interactions
+            assert summary.parallel_times == baseline.parallel_times
+
+    def test_unpicklable_later_config_falls_back(self, protocol):
+        # The pickle probe must cover every spec, not just the first:
+        # config_factory may return a poisoned configuration mid-sweep.
+        class Unpicklable:
+            leader = True
+
+            def __reduce__(self):
+                raise TypeError("cannot pickle")
+
+        def factory(index):
+            if index == 2:
+                return [Unpicklable() for _ in range(10)]
+            return None
+
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            summary = run_trials(
+                protocol,
+                protocol.is_goal_configuration,
+                n=10,
+                trials=4,
+                max_interactions=100_000,
+                seed=9,
+                config_factory=factory,
+                workers=2,
+            )
+        assert summary.trials == 4
+
+    def test_unpicklable_predicate_falls_back(self, protocol):
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            summary = run_trials(
+                protocol,
+                lambda config: protocol.is_goal_configuration(config),
+                n=10,
+                trials=3,
+                max_interactions=100_000,
+                seed=9,
+                workers=2,
+            )
+        assert summary.converged == 3

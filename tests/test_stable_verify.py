@@ -17,7 +17,9 @@ def protocol() -> ElectLeader:
     return ElectLeader(ProtocolParams(n=12, r=3))
 
 
-def verifier(protocol: ElectLeader, rank: int, generation: int = 0, probation: int = 0) -> AgentState:
+def verifier(
+    protocol: ElectLeader, rank: int, generation: int = 0, probation: int = 0
+) -> AgentState:
     agent = AgentState(
         role=Role.VERIFYING,
         rank=rank,

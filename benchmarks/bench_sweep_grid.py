@@ -1,0 +1,104 @@
+"""E16/E17 — the scenario-grid sweep engine as a workload.
+
+Two experiments exercise :mod:`repro.sim.sweep` end to end:
+
+* **E16** runs a mixed grid — ``ElectLeader_r`` across ``(n, r)`` cells,
+  clean and adversarial starts, with and without fault injection, next to
+  a baseline — through the streaming engine, and *gates determinism*: the
+  aggregate rows of the streamed multi-worker run must be byte-identical
+  to a sequential (``workers=1``) run of the same grid, and the JSONL
+  checkpoint must round-trip through resume unchanged.
+* **E17** is the first workload to push the engine past ``n >= 1024``:
+  a ``pairwise_elimination`` sweep whose largest population is 1024
+  agents (full mode; smoke mode trims to 128), confirming the grid,
+  the batched simulator fast path, and the streaming checkpoints compose
+  at four-digit populations.
+"""
+
+from __future__ import annotations
+
+from conftest import RESULTS_DIR, WORKERS, fast_scaled, run_once
+
+from repro.sim.sweep import GridSpec, expand_grid, run_sweep
+from repro.sim.trials import format_table
+
+E16_GRID = GridSpec(
+    protocols=("elect_leader", "pairwise_elimination"),
+    ns=fast_scaled((16, 24), (12, 16)),
+    rs=(2, 4),
+    adversaries=("clean", "random_soup"),
+    fault_rates=(0.0, 0.02),
+    trials=fast_scaled(5, 2),
+    seed=1600,
+    max_interactions=20_000_000,
+    check_interval=2_000,
+)
+
+E17_GRID = GridSpec(
+    protocols=("pairwise_elimination",),
+    ns=fast_scaled((256, 512, 1024), (64, 128)),
+    rs=(1,),
+    adversaries=("clean",),
+    fault_rates=(0.0,),
+    trials=fast_scaled(5, 3),
+    seed=1700,
+    max_interactions=fast_scaled(80_000_000, 8_000_000),
+    check_interval=4_096,
+)
+
+
+def test_e16_sweep_grid_streamed_equals_sequential(benchmark, record_table, tmp_path):
+    def experiment():
+        streamed = run_sweep(
+            E16_GRID,
+            workers=WORKERS,
+            jsonl_path=RESULTS_DIR / "E16_sweep_grid.jsonl",
+            force=True,
+        )
+        sequential = run_sweep(E16_GRID, workers=1, jsonl_path=tmp_path / "seq.jsonl")
+        # The determinism gate: streamed multi-worker aggregation must be
+        # byte-identical to sequential, and so must the JSONL streams.
+        assert format_table(streamed.rows) == format_table(sequential.rows)
+        assert (RESULTS_DIR / "E16_sweep_grid.jsonl").read_bytes() == (
+            tmp_path / "seq.jsonl"
+        ).read_bytes()
+        # Resume of the finished checkpoint replays without re-running.
+        resumed = run_sweep(
+            E16_GRID,
+            workers=WORKERS,
+            jsonl_path=RESULTS_DIR / "E16_sweep_grid.jsonl",
+            resume=True,
+        )
+        assert resumed.resumed_trials == len(resumed.specs)
+        assert format_table(resumed.rows) == format_table(streamed.rows)
+        return streamed.rows
+
+    rows = run_once(benchmark, experiment)
+    record_table(
+        "E16_sweep_grid",
+        rows,
+        f"E16: scenario-grid sweep ({len(expand_grid(E16_GRID))} trials, streamed)",
+    )
+    assert all(row["success_rate"] >= 0.9 for row in rows if row["fault_rate"] == "0")
+
+
+def test_e17_sweep_large_n(benchmark, record_table):
+    def experiment():
+        result = run_sweep(
+            E17_GRID,
+            workers=WORKERS,
+            jsonl_path=RESULTS_DIR / "E17_sweep_large_n.jsonl",
+            force=True,
+        )
+        return result.rows
+
+    rows = run_once(benchmark, experiment)
+    largest = max(E17_GRID.ns)
+    record_table(
+        "E17_sweep_large_n",
+        rows,
+        f"E17: streaming sweep up to n={largest} (pairwise elimination)",
+    )
+    # Every population size — including the n >= 1024 cells in full mode —
+    # must elect its leader within budget.
+    assert all(row["success_rate"] == 1.0 for row in rows)

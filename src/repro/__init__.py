@@ -29,8 +29,22 @@ from repro.core.partition import RankPartition
 from repro.core.protocol import PopulationProtocol, RankingProtocol
 from repro.core.roles import Role
 from repro.scheduler.rng import make_rng, spawn_rngs
-from repro.sim.parallel import TrialOutcome, TrialSpec, run_trial_specs
+from repro.sim.parallel import (
+    TrialOutcome,
+    TrialSpec,
+    run_trial_specs,
+    run_trial_specs_streaming,
+    stream_ordered,
+)
 from repro.sim.simulation import Simulation, SimulationResult, run_until
+from repro.sim.sweep import (
+    GridSpec,
+    ScenarioOutcome,
+    ScenarioSpec,
+    SweepError,
+    SweepResult,
+    run_sweep,
+)
 from repro.sim.trials import TrialSummary, format_table, run_trials
 
 __version__ = "1.0.0"
@@ -51,6 +65,14 @@ __all__ = [
     "TrialSpec",
     "TrialOutcome",
     "run_trial_specs",
+    "run_trial_specs_streaming",
+    "stream_ordered",
+    "GridSpec",
+    "ScenarioSpec",
+    "ScenarioOutcome",
+    "SweepError",
+    "SweepResult",
+    "run_sweep",
     "format_table",
     "make_rng",
     "spawn_rngs",

@@ -1,24 +1,26 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands mirror the library's main entry points:
+Five subcommands mirror the library's main entry points:
 
 * ``run``       — stabilize ``ElectLeader_r`` from a clean start;
 * ``recover``   — stabilize from a named adversarial configuration;
 * ``tradeoff``  — sweep r at fixed n and print the measured trade-off;
+* ``sweep``     — run a scenario grid (protocols × n × r × adversaries ×
+  fault rates) with streaming JSONL checkpoints and ``--resume``;
 * ``statespace`` — print the analytic bit-complexity comparison table.
 
 All commands are deterministic given ``--seed`` — including ``tradeoff``
-under ``--workers N``: trials fan out over a process pool but each trial's
-randomness comes from its own derived seed, so worker count never changes
-the numbers.  ``--batch`` sets the convergence-check interval, which is
-also the batch size of the simulator's observer-free fast path.
+and ``sweep`` under ``--workers N``: trials fan out over a process pool
+but each trial's randomness comes from its own derived seed, so worker
+count never changes the numbers.  ``--batch`` sets the convergence-check
+interval, which is also the batch size of the simulator's fast path.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.adversary.initializers import ADVERSARIES
 from repro.analysis.statespace import comparison_table, elect_leader_bits
@@ -27,6 +29,7 @@ from repro.core.elect_leader import ElectLeader
 from repro.core.params import ProtocolParams
 from repro.scheduler.rng import make_rng
 from repro.sim.simulation import Simulation
+from repro.sim.sweep import CLEAN, PROTOCOLS, GridSpec, SweepError, run_sweep
 from repro.sim.trials import format_table, run_trials
 
 
@@ -34,6 +37,31 @@ def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _population_size(text: str) -> int:
+    value = int(text)
+    if value < 2:
+        raise argparse.ArgumentTypeError(
+            f"population size must be an integer >= 2, got {value}"
+        )
+    return value
+
+
+def _tradeoff_r(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"trade-off parameter r must be an integer >= 1, got {value}"
+        )
+    return value
+
+
+def _fault_rate(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"fault rate must be >= 0, got {value}")
     return value
 
 
@@ -56,26 +84,76 @@ def build_parser() -> argparse.ArgumentParser:
     workers_help = "worker processes for trial fan-out (0 = one per CPU)"
 
     run = sub.add_parser("run", help="stabilize from a clean start")
-    run.add_argument("-n", type=int, default=32, help="population size")
-    run.add_argument("-r", type=int, default=4, help="trade-off parameter")
+    run.add_argument("-n", type=_population_size, default=32, help="population size (>= 2)")
+    run.add_argument("-r", type=_tradeoff_r, default=4, help="trade-off parameter (>= 1)")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--max-interactions", type=int, default=20_000_000)
     run.add_argument("--batch", type=_positive_int, default=1_000, help=batch_help)
 
     recover = sub.add_parser("recover", help="stabilize from an adversarial start")
     recover.add_argument("adversary", choices=sorted(ADVERSARIES))
-    recover.add_argument("-n", type=int, default=32)
-    recover.add_argument("-r", type=int, default=4)
+    recover.add_argument("-n", type=_population_size, default=32)
+    recover.add_argument("-r", type=_tradeoff_r, default=4)
     recover.add_argument("--seed", type=int, default=0)
     recover.add_argument("--max-interactions", type=int, default=40_000_000)
     recover.add_argument("--batch", type=_positive_int, default=1_000, help=batch_help)
 
     tradeoff = sub.add_parser("tradeoff", help="sweep r at fixed n")
-    tradeoff.add_argument("-n", type=int, default=36)
-    tradeoff.add_argument("--trials", type=int, default=5)
+    tradeoff.add_argument("-n", type=_population_size, default=36)
+    tradeoff.add_argument("--trials", type=_positive_int, default=5)
     tradeoff.add_argument("--seed", type=int, default=0)
     tradeoff.add_argument("--workers", type=_workers_count, default=1, help=workers_help)
     tradeoff.add_argument("--batch", type=_positive_int, default=1_000, help=batch_help)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a scenario grid with streaming JSONL checkpoints",
+        description="Expand a Cartesian scenario grid (protocols × n × r × "
+        "adversaries × fault rates), run every cell for --trials seeded "
+        "trials, stream each outcome to a JSONL checkpoint as it lands, and "
+        "print the per-cell aggregate table.  An interrupted sweep continues "
+        "from its checkpoint with --resume.",
+    )
+    sweep.add_argument(
+        "--protocols", nargs="+", choices=sorted(PROTOCOLS), default=["elect_leader"],
+        help="protocol axis of the grid",
+    )
+    sweep.add_argument(
+        "--ns", nargs="+", type=_population_size, default=[16, 32], metavar="N",
+        help="population sizes (each >= 2)",
+    )
+    sweep.add_argument(
+        "--rs", nargs="+", type=_tradeoff_r, default=[4], metavar="R",
+        help="trade-off parameters (each >= 1; cells with r > n/2 are skipped)",
+    )
+    sweep.add_argument(
+        "--adversaries", nargs="+", choices=[CLEAN, *sorted(ADVERSARIES)],
+        default=[CLEAN], help="initializer axis ('clean' = protocol's own start)",
+    )
+    sweep.add_argument(
+        "--fault-rates", nargs="+", type=_fault_rate, default=[0.0], metavar="RATE",
+        help="fault bursts per unit of parallel time (0 = no injection)",
+    )
+    sweep.add_argument("--trials", type=_positive_int, default=5, help="trials per cell")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--max-interactions", type=_positive_int, default=20_000_000)
+    sweep.add_argument("--batch", type=_positive_int, default=1_000, help=batch_help)
+    sweep.add_argument("--workers", type=_workers_count, default=1, help=workers_help)
+    sweep.add_argument(
+        "--out", default="sweep.jsonl", metavar="PATH",
+        help="JSONL results/checkpoint file (default: sweep.jsonl)",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted sweep from --out instead of failing",
+    )
+    sweep.add_argument(
+        "--force", action="store_true",
+        help="discard an existing --out file and start over",
+    )
+    sweep.add_argument(
+        "--no-progress", action="store_true", help="suppress the stderr progress line"
+    )
 
     statespace = sub.add_parser("statespace", help="bit-complexity comparison")
     statespace.add_argument(
@@ -108,14 +186,25 @@ def _stabilize(
     return 0
 
 
+class _UsageError(Exception):
+    """A parameter combination argparse can't validate (e.g. r > n/2)."""
+
+
+def _build_protocol(n: int, r: int) -> ElectLeader:
+    try:
+        return ElectLeader(ProtocolParams(n=n, r=r))
+    except ValueError as error:
+        raise _UsageError(str(error)) from error
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    protocol = ElectLeader(ProtocolParams(n=args.n, r=args.r))
+    protocol = _build_protocol(args.n, args.r)
     print(f"ElectLeader_r: n={args.n} r={args.r} seed={args.seed} (clean start)")
     return _stabilize(protocol, None, args.seed, args.max_interactions, args.batch)
 
 
 def cmd_recover(args: argparse.Namespace) -> int:
-    protocol = ElectLeader(ProtocolParams(n=args.n, r=args.r))
+    protocol = _build_protocol(args.n, args.r)
     config = ADVERSARIES[args.adversary](protocol, make_rng(args.seed))
     print(
         f"ElectLeader_r: n={args.n} r={args.r} seed={args.seed} "
@@ -158,6 +247,56 @@ def cmd_tradeoff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_progress(stream) -> Callable[[int, int], None]:
+    """A progress printer: live \\r updates on a tty, sparse lines otherwise."""
+    interactive = hasattr(stream, "isatty") and stream.isatty()
+    last_reported = -1
+
+    def report(done: int, total: int) -> None:
+        nonlocal last_reported
+        if interactive:
+            end = "\n" if done == total else ""
+            print(f"\rsweep: {done}/{total} trials", end=end, file=stream, flush=True)
+        else:
+            # Non-interactive (CI logs): at most ~10 lines plus the endpoints.
+            step = max(1, total // 10)
+            if done == total or done == 0 or done - last_reported >= step:
+                print(f"sweep: {done}/{total} trials", file=stream, flush=True)
+                last_reported = done
+
+    return report
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    grid = GridSpec(
+        protocols=tuple(args.protocols),
+        ns=tuple(args.ns),
+        rs=tuple(args.rs),
+        adversaries=tuple(args.adversaries),
+        fault_rates=tuple(args.fault_rates),
+        trials=args.trials,
+        seed=args.seed,
+        max_interactions=args.max_interactions,
+        check_interval=args.batch,
+    )
+    progress = None if args.no_progress else _sweep_progress(sys.stderr)
+    result = run_sweep(
+        grid,
+        workers=args.workers,
+        jsonl_path=args.out,
+        resume=args.resume,
+        force=args.force,
+        progress=progress,
+    )
+    cells = len(result.rows)
+    title = f"Scenario sweep: {len(result.specs)} trials over {cells} cells"
+    if result.resumed_trials:
+        title += f" ({result.resumed_trials} resumed from checkpoint)"
+    print(format_table(result.rows, title=title))
+    print(f"[per-trial results in {args.out}]")
+    return 0
+
+
 def cmd_statespace(args: argparse.Namespace) -> int:
     rows = comparison_table(args.sizes)
     print(format_table(rows, title="Bit complexity (log2 #states)"))
@@ -168,13 +307,21 @@ COMMANDS = {
     "run": cmd_run,
     "recover": cmd_recover,
     "tradeoff": cmd_tradeoff,
+    "sweep": cmd_sweep,
     "statespace": cmd_statespace,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    try:
+        return COMMANDS[args.command](args)
+    except (SweepError, _UsageError) as error:
+        # Parameter combinations argparse can't see (r > n/2, a checkpoint
+        # for a different grid, ...) get one clean line, not a traceback;
+        # anything else propagates so real bugs keep their tracebacks.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

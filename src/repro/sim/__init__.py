@@ -10,9 +10,29 @@ from repro.sim.convergence import (
 )
 from repro.sim.faults import AvailabilityReport, FaultInjector, measure_availability
 from repro.sim.metrics import Metrics
-from repro.sim.parallel import TrialOutcome, TrialSpec, resolve_workers, run_trial, run_trial_specs
+from repro.sim.parallel import (
+    TrialOutcome,
+    TrialSpec,
+    resolve_workers,
+    run_trial,
+    run_trial_specs,
+    run_trial_specs_streaming,
+    stream_ordered,
+)
 from repro.sim.replay import replay, record_and_replay_matches
 from repro.sim.simulation import Simulation, SimulationResult, run_until
+from repro.sim.sweep import (
+    GridSpec,
+    ScenarioOutcome,
+    ScenarioSpec,
+    SweepError,
+    SweepResult,
+    aggregate_rows,
+    expand_grid,
+    load_checkpoint,
+    run_scenario,
+    run_sweep,
+)
 from repro.sim.trace import ProtocolTracer, TraceEvent
 from repro.sim.trials import TrialSummary, format_table, run_trials
 
@@ -28,7 +48,19 @@ __all__ = [
     "TrialOutcome",
     "run_trial",
     "run_trial_specs",
+    "run_trial_specs_streaming",
+    "stream_ordered",
     "resolve_workers",
+    "GridSpec",
+    "ScenarioSpec",
+    "ScenarioOutcome",
+    "SweepError",
+    "SweepResult",
+    "expand_grid",
+    "run_scenario",
+    "run_sweep",
+    "aggregate_rows",
+    "load_checkpoint",
     "replay",
     "record_and_replay_matches",
     "SilenceDetector",

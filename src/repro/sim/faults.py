@@ -139,7 +139,11 @@ def measure_availability(
     checkpoints = 0
     available = 0
     repair_times: list[int] = []
-    pending_fault: int | None = None
+    # Every burst still awaiting its first correct checkpoint.  Keeping all
+    # of them (not just the latest) is what makes the repair-time sample
+    # one-per-burst: under bursty injection several faults can land before
+    # the protocol recovers, and each owes a measurement.
+    pending_faults: list[int] = []
     fault_cursor = 0
     remaining = total_interactions
     while remaining > 0:
@@ -148,14 +152,14 @@ def measure_availability(
         remaining -= burst
         # Account for any faults injected during the burst.
         while fault_cursor < len(injector.events):
-            pending_fault = injector.events[fault_cursor].interaction
+            pending_faults.append(injector.events[fault_cursor].interaction)
             fault_cursor += 1
         checkpoints += 1
         if correct(sim.config):
             available += 1
-            if pending_fault is not None:
-                repair_times.append(sim.metrics.interactions - pending_fault)
-                pending_fault = None
+            now = sim.metrics.interactions
+            repair_times.extend(now - fault for fault in pending_faults)
+            pending_faults.clear()
     return AvailabilityReport(
         interactions=total_interactions,
         checkpoints=checkpoints,

@@ -15,11 +15,21 @@ embarrassingly parallel.  This module is the execution substrate under
 * :func:`run_trial_specs` executes a batch on a ``ProcessPoolExecutor``,
   chunking specs to amortize pickling, and returns outcomes **in spec
   order** regardless of completion order — ``seed → results`` is therefore
-  bit-identical to the sequential runner for any worker count.
+  bit-identical to the sequential runner for any worker count;
+* :func:`stream_ordered` is the streaming substrate under long sweeps:
+  it submits work items individually (``submit``/``wait`` instead of the
+  blocking ``pool.map``) and *yields* each result as soon as it can be
+  emitted in item order — a reorder buffer holds early completions, so
+  consumers (JSONL checkpoint writers, progress lines, aggregators) see
+  exactly the sequential stream for any worker count;
+* :func:`run_trial_specs_streaming` is :func:`stream_ordered` applied to
+  :func:`run_trial`.
 
 Closures and lambdas do not pickle; when a spec is unpicklable (common in
 tests that pass ``lambda config: False``) the batch silently degrades to
-in-process execution, which is always semantically equivalent.
+in-process execution, which is always semantically equivalent.  The
+streaming path degrades per item: an unpicklable item runs in the parent
+at submission time, picklable neighbours still fan out.
 """
 
 from __future__ import annotations
@@ -27,9 +37,9 @@ from __future__ import annotations
 import os
 import pickle
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, TypeVar
 
 from repro.core.protocol import PopulationProtocol
 from repro.sim.simulation import ConfigPredicate, run_until
@@ -130,3 +140,106 @@ def run_trial_specs(
     chunksize = max(1, len(spec_list) // (worker_count * 4))
     with ProcessPoolExecutor(max_workers=worker_count) as pool:
         return list(pool.map(run_trial, spec_list, chunksize=chunksize))
+
+
+_Item = TypeVar("_Item")
+_Result = TypeVar("_Result")
+
+_UNPICKLABLE_WARNING = (
+    "work item is not picklable (lambda/closure predicate or protocol?); "
+    "running it in-process while picklable items keep fanning out"
+)
+
+
+def stream_ordered(
+    items: Iterable[_Item],
+    fn: Callable[[_Item], _Result],
+    workers: Optional[int] = 1,
+    window: Optional[int] = None,
+) -> Iterator[_Result]:
+    """Apply ``fn`` to ``items`` on a process pool, yielding results in item order.
+
+    The streaming counterpart of :func:`run_trial_specs`: items are
+    submitted individually and each result is yielded as soon as every
+    earlier item has been yielded — completions that arrive early wait in
+    a reorder buffer, so the yielded stream is identical to
+    ``map(fn, items)`` for any worker count.  Consumers can therefore
+    checkpoint or aggregate incrementally without giving up determinism.
+
+    ``items`` is consumed lazily: at most ``window`` items (default
+    ``4 × workers``) are in flight or buffered at once, so arbitrarily
+    long sweeps run in O(window) memory.  ``workers`` follows
+    :func:`resolve_workers`; ``workers=1`` degenerates to a plain lazy
+    ``map``.  An unpicklable item runs in the parent process at
+    submission time (with a one-time warning) instead of failing the
+    sweep — its result still streams out at its index, but while it runs
+    the parent cannot yield earlier completions.
+    """
+    worker_count = resolve_workers(workers)
+    if worker_count <= 1:
+        for item in items:
+            yield fn(item)
+        return
+    if window is None:
+        window = worker_count * 4
+    if window < 1:
+        raise ValueError(f"window must be positive, got {window}")
+
+    iterator = enumerate(items)
+    pending: dict[Any, int] = {}  # future -> item index
+    buffered: dict[int, _Result] = {}  # completed, waiting for their turn
+    next_yield = 0
+    exhausted = False
+    warned = False
+    pool = ProcessPoolExecutor(max_workers=worker_count)
+    try:
+        while True:
+            # Top up the in-flight window.  Items are submitted in order, so
+            # whenever index k is still unsubmitted nothing above k has been
+            # either — the drain below can never starve.
+            while not exhausted and len(pending) + len(buffered) < window:
+                try:
+                    index, item = next(iterator)
+                except StopIteration:
+                    exhausted = True
+                    break
+                # The probe costs one extra serialization per item — same
+                # trade as _picklable() above, and the high-volume callers
+                # (sweep ScenarioSpecs) submit a few dozen bytes per item.
+                try:
+                    pickle.dumps(item)
+                except Exception:
+                    if not warned:
+                        warnings.warn(_UNPICKLABLE_WARNING, RuntimeWarning, stacklevel=2)
+                        warned = True
+                    buffered[index] = fn(item)
+                else:
+                    pending[pool.submit(fn, item)] = index
+            while next_yield in buffered:
+                yield buffered.pop(next_yield)
+                next_yield += 1
+            if exhausted and not pending:
+                return
+            if pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    buffered[pending.pop(future)] = future.result()
+    finally:
+        # An abandoned generator (consumer break / error) must not leave
+        # worker processes running queued items.
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+def run_trial_specs_streaming(
+    specs: Iterable[TrialSpec],
+    workers: Optional[int] = 1,
+    window: Optional[int] = None,
+) -> Iterator[TrialOutcome]:
+    """Execute specs on ``workers`` processes, yielding outcomes in spec order.
+
+    Unlike :func:`run_trial_specs` this never blocks on the whole batch:
+    each outcome is yielded as soon as it and all its predecessors have
+    completed, so long sweeps can checkpoint incrementally.  The yielded
+    sequence is identical to the blocking runner for any worker count.
+    """
+    return stream_ordered(specs, run_trial, workers=workers, window=window)

@@ -1,0 +1,608 @@
+"""Scenario-grid sweeps with streaming JSONL checkpoints and resume.
+
+The paper's claims are sweep-shaped — stabilization time vs. ``n``
+(Theorem 1.1), the space/time trade-off vs. ``r``, recovery across
+adversarial starts, availability vs. fault rate — so the natural workload
+is a Cartesian *grid* of scenarios, each run for many independent seeded
+trials.  This module is that workload, end to end:
+
+* :class:`GridSpec` declares the grid: protocols (``ElectLeader_r`` and
+  the baseline suite), population sizes, trade-off parameters, adversary
+  initializers, and fault rates, plus the shared trial budget;
+* :func:`expand_grid` expands it into :class:`ScenarioSpec` work items —
+  tiny, declarative, trivially picklable records (strings and numbers
+  only) with a child seed already derived in the parent, so execution is
+  deterministic regardless of which process runs which trial;
+* :func:`run_scenario` materializes one spec inside the worker (protocol,
+  adversarial start, fault injector) and runs it to convergence or budget;
+* :func:`run_sweep` streams the specs through
+  :func:`repro.sim.parallel.stream_ordered` — outcomes are re-ordered on
+  arrival, appended to a JSONL results file as they land, and aggregated
+  into per-scenario rows that are bit-identical to a sequential run for
+  any worker count;
+* the JSONL file doubles as a checkpoint: :func:`load_checkpoint`
+  re-reads it (tolerating a truncated final line from a killed run),
+  verifies it against the grid, and :func:`run_sweep` skips the specs it
+  already covers — an interrupted large-``n`` sweep continues instead of
+  restarting, and the resumed file is byte-identical to an uninterrupted
+  one.
+
+Records carry no timestamps or host information on purpose: the file is
+a pure function of ``(grid, code)``, which is what makes the byte-level
+resume guarantee (and CI's ``cmp`` gate) possible.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence
+
+from repro.adversary.initializers import ADVERSARIES, single_agent_scrambler
+from repro.baselines.cai_izumi_wada import CaiIzumiWada
+from repro.baselines.loosely_stabilizing import LooselyStabilizingLeaderElection
+from repro.baselines.nonss_leader import PairwiseElimination
+from repro.core.elect_leader import ElectLeader
+from repro.core.params import BaselineParams, ProtocolParams
+from repro.core.protocol import PopulationProtocol
+from repro.scheduler.rng import derive_seed, make_rng
+from repro.sim.faults import FaultInjector
+from repro.sim.parallel import stream_ordered
+from repro.sim.simulation import ConfigPredicate, Simulation
+from repro.sim.trials import TrialSummary
+
+#: Adversary name meaning "clean start" (protocol's own initial states).
+CLEAN = "clean"
+
+#: Sentinel recorded as ``r`` for protocols without a trade-off parameter.
+NO_R = 0
+
+#: Derived-seed stream tags (offsets under a spec's child seed).  The
+#: simulation itself uses streams 0 and 1 of its own seed; the adversary
+#: and fault streams are derived from the *spec* seed with distinct tags,
+#: so all four are independent.
+_ADVERSARY_STREAM = 0xAD
+_FAULT_STREAM = 0xFA
+
+#: JSONL record kinds.
+_META_KIND = "sweep-meta"
+_TRIAL_KIND = "trial"
+_JSONL_VERSION = 1
+
+
+class SweepError(RuntimeError):
+    """A sweep could not be started or resumed (bad grid, bad checkpoint)."""
+
+
+# ---------------------------------------------------------------------------
+# Protocol registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProtocolKind:
+    """One entry of the sweep's protocol axis.
+
+    ``build(n, r)`` returns the protocol instance and its convergence
+    predicate.  ``uses_r`` protocols sweep the full ``r`` axis (cells with
+    ``r > n/2`` are skipped, mirroring :class:`ProtocolParams`); the rest
+    collapse it to a single cell recorded with ``r = 0``.  Adversary
+    initializers and fault injection scramble ``ElectLeader`` state
+    layouts specifically, so only ``elect_leader`` supports them.
+    """
+
+    name: str
+    uses_r: bool
+    supports_adversaries: bool
+    supports_faults: bool
+    build: Callable[[int, int], tuple[PopulationProtocol, ConfigPredicate]]
+
+
+def _build_elect_leader(n: int, r: int) -> tuple[PopulationProtocol, ConfigPredicate]:
+    protocol = ElectLeader(ProtocolParams(n=n, r=r))
+    return protocol, protocol.is_safe_configuration
+
+
+def _build_pairwise(n: int, r: int) -> tuple[PopulationProtocol, ConfigPredicate]:
+    protocol = PairwiseElimination(n)
+    return protocol, protocol.is_goal_configuration
+
+
+def _build_cai_izumi_wada(n: int, r: int) -> tuple[PopulationProtocol, ConfigPredicate]:
+    protocol = CaiIzumiWada(BaselineParams(n=n))
+    return protocol, protocol.is_silent_configuration
+
+
+def _build_loose(n: int, r: int) -> tuple[PopulationProtocol, ConfigPredicate]:
+    protocol = LooselyStabilizingLeaderElection(BaselineParams(n=n))
+    return protocol, lambda config: sum(1 for s in config if protocol.output(s)) == 1
+
+
+PROTOCOLS: dict[str, ProtocolKind] = {
+    "elect_leader": ProtocolKind(
+        "elect_leader", uses_r=True, supports_adversaries=True,
+        supports_faults=True, build=_build_elect_leader,
+    ),
+    "pairwise_elimination": ProtocolKind(
+        "pairwise_elimination", uses_r=False, supports_adversaries=False,
+        supports_faults=False, build=_build_pairwise,
+    ),
+    "cai_izumi_wada": ProtocolKind(
+        "cai_izumi_wada", uses_r=False, supports_adversaries=False,
+        supports_faults=False, build=_build_cai_izumi_wada,
+    ),
+    "loosely_stabilizing": ProtocolKind(
+        "loosely_stabilizing", uses_r=False, supports_adversaries=False,
+        supports_faults=False, build=_build_loose,
+    ),
+}
+
+
+# ---------------------------------------------------------------------------
+# Grid declaration and expansion
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A Cartesian scenario grid plus the shared per-trial budget.
+
+    Axis order is fixed — ``protocol × n × r × adversary × fault_rate``,
+    then ``trials`` trials per cell — and expansion is deterministic, so
+    a grid's global trial indices (and therefore its derived seeds and
+    its JSONL checkpoint) are stable across runs and processes.
+    """
+
+    ns: tuple[int, ...]
+    rs: tuple[int, ...] = (1,)
+    protocols: tuple[str, ...] = ("elect_leader",)
+    adversaries: tuple[str, ...] = (CLEAN,)
+    fault_rates: tuple[float, ...] = (0.0,)
+    trials: int = 5
+    seed: int = 0
+    max_interactions: int = 20_000_000
+    check_interval: int = 1_000
+
+    def __post_init__(self) -> None:
+        for name, values in (
+            ("protocols", self.protocols), ("ns", self.ns), ("rs", self.rs),
+            ("adversaries", self.adversaries), ("fault_rates", self.fault_rates),
+        ):
+            if not values:
+                raise SweepError(f"grid axis '{name}' must be non-empty")
+        for protocol in self.protocols:
+            if protocol not in PROTOCOLS:
+                known = ", ".join(sorted(PROTOCOLS))
+                raise SweepError(f"unknown protocol '{protocol}' (known: {known})")
+        for adversary in self.adversaries:
+            if adversary != CLEAN and adversary not in ADVERSARIES:
+                known = ", ".join([CLEAN, *sorted(ADVERSARIES)])
+                raise SweepError(f"unknown adversary '{adversary}' (known: {known})")
+        for n in self.ns:
+            if n < 2:
+                raise SweepError(f"population size must be >= 2, got n={n}")
+        for r in self.rs:
+            if r < 1:
+                raise SweepError(f"trade-off parameter must be >= 1, got r={r}")
+        for rate in self.fault_rates:
+            if rate < 0:
+                raise SweepError(f"fault rate must be >= 0, got {rate}")
+        if self.trials < 1:
+            raise SweepError(f"trials must be >= 1, got {self.trials}")
+        if self.max_interactions < 1 or self.check_interval < 1:
+            raise SweepError("max_interactions and check_interval must be positive")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON-round-trippable form (checkpoint fingerprint)."""
+        data = asdict(self)
+        return {key: list(value) if isinstance(value, tuple) else value
+                for key, value in data.items()}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "GridSpec":
+        kwargs = dict(data)
+        for key in ("protocols", "ns", "rs", "adversaries", "fault_rates"):
+            if key in kwargs:
+                kwargs[key] = tuple(kwargs[key])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-determined trial of one grid cell.
+
+    Deliberately declarative — names and numbers only — so specs pickle
+    in a few bytes and the worker rebuilds the heavyweight objects
+    (protocol, adversarial configuration, fault injector) locally from
+    the derived seed.
+    """
+
+    index: int  # global position in grid expansion order
+    protocol: str
+    n: int
+    r: int  # NO_R (0) for protocols without a trade-off parameter
+    adversary: str
+    fault_rate: float
+    trial: int  # trial number within the scenario
+    seed: int  # child seed derived from (grid seed, index) in the parent
+    max_interactions: int
+    check_interval: int
+
+    @property
+    def scenario_key(self) -> tuple[str, int, int, str, float]:
+        """The grid-cell identity (everything but trial/index/seed)."""
+        return (self.protocol, self.n, self.r, self.adversary, self.fault_rate)
+
+    @property
+    def scenario_id(self) -> str:
+        return (
+            f"{self.protocol}/n={self.n}/r={self.r}"
+            f"/adv={self.adversary}/fault={self.fault_rate:g}"
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """The per-trial result row appended to the JSONL stream."""
+
+    index: int
+    protocol: str
+    n: int
+    r: int
+    adversary: str
+    fault_rate: float
+    trial: int
+    seed: int
+    converged: bool
+    interactions: int
+    parallel_time: float
+    fault_bursts: int = 0
+
+    def to_record(self) -> dict[str, Any]:
+        record: dict[str, Any] = {"kind": _TRIAL_KIND}
+        record.update(asdict(self))
+        return record
+
+    @classmethod
+    def from_record(cls, record: dict[str, Any]) -> "ScenarioOutcome":
+        fields = {key: record[key] for key in (
+            "index", "protocol", "n", "r", "adversary", "fault_rate",
+            "trial", "seed", "converged", "interactions", "parallel_time",
+        )}
+        fields["fault_bursts"] = record.get("fault_bursts", 0)
+        return cls(**fields)
+
+
+def expand_grid(grid: GridSpec) -> list[ScenarioSpec]:
+    """Expand the Cartesian grid into globally-indexed scenario specs.
+
+    Cells that are invalid for their protocol are dropped or collapsed,
+    mirroring the ``tradeoff`` sweep: ``elect_leader`` requires
+    ``1 <= r <= n/2`` (other ``(n, r)`` pairs are skipped), and a protocol
+    that ignores an axis — ``r`` for every baseline, adversaries and fault
+    injection for protocols whose state layout the scramblers don't speak —
+    contributes one collapsed cell (``r = 0``, clean start, rate ``0``) no
+    matter how many values the grid lists, so mixed protocol/baseline
+    grids stay expressible.  Raises if nothing survives.
+    """
+    specs: list[ScenarioSpec] = []
+    seen_cells: set[tuple[str, int, int, str, float]] = set()
+    for protocol, n, r, adversary, fault_rate in itertools.product(
+        grid.protocols, grid.ns, grid.rs, grid.adversaries, grid.fault_rates
+    ):
+        kind = PROTOCOLS[protocol]
+        if kind.uses_r:
+            if not 1 <= r <= n // 2:
+                continue
+        else:
+            r = NO_R
+        if not kind.supports_adversaries:
+            adversary = CLEAN
+        if not kind.supports_faults:
+            fault_rate = 0.0
+        cell = (protocol, n, r, adversary, fault_rate)
+        if cell in seen_cells:  # collapsed r axis revisits the same cell
+            continue
+        seen_cells.add(cell)
+        for trial in range(grid.trials):
+            index = len(specs)
+            specs.append(
+                ScenarioSpec(
+                    index=index,
+                    protocol=protocol,
+                    n=n,
+                    r=r,
+                    adversary=adversary,
+                    fault_rate=fault_rate,
+                    trial=trial,
+                    seed=derive_seed(grid.seed, index),
+                    max_interactions=grid.max_interactions,
+                    check_interval=grid.check_interval,
+                )
+            )
+    if not specs:
+        raise SweepError(
+            "grid expansion produced no runnable scenarios "
+            "(every (n, r) cell violated 1 <= r <= n/2?)"
+        )
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# Scenario execution (runs inside the worker process)
+# ---------------------------------------------------------------------------
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
+    """Materialize and run one scenario trial (in whichever process it landed).
+
+    Everything stochastic draws from streams derived from ``spec.seed``:
+    the simulation's scheduler/transition streams, the adversary's
+    configuration stream, and the fault injector's burst stream — so the
+    outcome is a pure function of the spec.
+    """
+    kind = PROTOCOLS[spec.protocol]
+    protocol, predicate = kind.build(spec.n, spec.r)
+    config = None
+    if spec.adversary != CLEAN:
+        adversary_rng = make_rng(derive_seed(spec.seed, _ADVERSARY_STREAM))
+        config = ADVERSARIES[spec.adversary](protocol, adversary_rng)
+    sim = Simulation(protocol, config=config, n=None if config else spec.n, seed=spec.seed)
+    injector: Optional[FaultInjector] = None
+    if spec.fault_rate > 0:
+        injector = FaultInjector(
+            single_agent_scrambler(protocol),
+            rate=spec.fault_rate,
+            burst_size=1,
+            rng=make_rng(derive_seed(spec.seed, _FAULT_STREAM)),
+        )
+        sim.observers.append(injector.observe)
+    result = sim.run_until(predicate, spec.max_interactions, spec.check_interval)
+    return ScenarioOutcome(
+        index=spec.index,
+        protocol=spec.protocol,
+        n=spec.n,
+        r=spec.r,
+        adversary=spec.adversary,
+        fault_rate=spec.fault_rate,
+        trial=spec.trial,
+        seed=spec.seed,
+        converged=result.converged,
+        interactions=result.interactions,
+        parallel_time=result.parallel_time,
+        fault_bursts=len(injector.events) if injector else 0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# JSONL checkpoint
+# ---------------------------------------------------------------------------
+
+
+def _dump_line(record: dict[str, Any]) -> str:
+    # One canonical encoding — byte-identical files require byte-identical
+    # lines, so every writer funnels through here.
+    return json.dumps(record, separators=(",", ":"), sort_keys=False) + "\n"
+
+
+def _meta_record(grid: GridSpec) -> dict[str, Any]:
+    return {"kind": _META_KIND, "version": _JSONL_VERSION, "grid": grid.to_dict()}
+
+
+def load_checkpoint(
+    path: Path, grid: GridSpec, specs: Sequence[ScenarioSpec]
+) -> tuple[dict[int, ScenarioOutcome], int]:
+    """Read a (possibly truncated) JSONL checkpoint back.
+
+    Returns ``(outcomes by global index, valid byte length)``.  The final
+    line is allowed to be garbage — a killed writer leaves a partial line
+    — and is simply discarded; corruption anywhere *else* is an error, as
+    is a metadata line whose grid differs from ``grid`` or a trial record
+    that contradicts its spec (different seed ⇒ different grid or code).
+    """
+    raw = path.read_bytes()
+    outcomes: dict[int, ScenarioOutcome] = {}
+    offset = 0
+    records: list[tuple[dict[str, Any], int]] = []  # (record, end offset)
+    lines = raw.split(b"\n")
+    # split() leaves a final element for the bytes after the last newline:
+    # empty for a cleanly-terminated file, the partial line otherwise.
+    complete, partial = lines[:-1], lines[-1]
+    for position, line in enumerate(complete):
+        end = offset + len(line) + 1
+        try:
+            record = json.loads(line.decode("utf-8"))
+            if not isinstance(record, dict) or "kind" not in record:
+                raise ValueError("not a sweep record")
+        except (ValueError, UnicodeDecodeError) as error:
+            if position == len(complete) - 1 and not partial:
+                break  # interrupted mid-line, right before the newline
+            raise SweepError(f"{path}: corrupt checkpoint line {position + 1}: {error}")
+        records.append((record, end))
+        offset = end
+    if not records:
+        return {}, 0
+    meta, meta_end = records[0]
+    if meta.get("kind") != _META_KIND:
+        raise SweepError(f"{path}: first line is not a {_META_KIND} record")
+    if meta.get("version") != _JSONL_VERSION:
+        raise SweepError(f"{path}: unsupported checkpoint version {meta.get('version')}")
+    if meta.get("grid") != grid.to_dict():
+        raise SweepError(
+            f"{path}: checkpoint was written for a different grid; "
+            "re-run with the original flags or start a fresh output file"
+        )
+    valid_end = meta_end
+    for record, end in records[1:]:
+        if record.get("kind") != _TRIAL_KIND:
+            raise SweepError(f"{path}: unexpected record kind {record.get('kind')!r}")
+        try:
+            outcome = ScenarioOutcome.from_record(record)
+        except (KeyError, TypeError) as error:
+            raise SweepError(f"{path}: malformed trial record: {error}")
+        if not 0 <= outcome.index < len(specs):
+            raise SweepError(f"{path}: trial index {outcome.index} outside the grid")
+        spec = specs[outcome.index]
+        if (
+            outcome.seed != spec.seed
+            or outcome.trial != spec.trial
+            or outcome.protocol != spec.protocol
+            or (outcome.n, outcome.r) != (spec.n, spec.r)
+            or outcome.adversary != spec.adversary
+            or outcome.fault_rate != spec.fault_rate
+        ):
+            raise SweepError(
+                f"{path}: trial record {outcome.index} does not match the grid "
+                "(was the checkpoint produced by different flags?)"
+            )
+        if outcome.index in outcomes:
+            raise SweepError(f"{path}: duplicate trial record {outcome.index}")
+        outcomes[outcome.index] = outcome
+        valid_end = end
+    return outcomes, valid_end
+
+
+# ---------------------------------------------------------------------------
+# The sweep driver
+# ---------------------------------------------------------------------------
+
+
+#: Progress callback: ``progress(completed_trials, total_trials)``.
+ProgressCallback = Callable[[int, int], None]
+
+
+@dataclass
+class SweepResult:
+    """Everything a finished (or resumed-and-finished) sweep produced."""
+
+    grid: GridSpec
+    specs: list[ScenarioSpec]
+    outcomes: list[ScenarioOutcome]  # in global index order
+    resumed_trials: int  # how many came from the checkpoint
+
+    @property
+    def rows(self) -> list[dict[str, object]]:
+        return aggregate_rows(self.specs, self.outcomes)
+
+
+def aggregate_rows(
+    specs: Sequence[ScenarioSpec], outcomes: Sequence[ScenarioOutcome]
+) -> list[dict[str, object]]:
+    """Fold per-trial outcomes into one row per grid cell.
+
+    Outcomes are consumed in global index order (the caller guarantees
+    it), so the aggregates — medians, the nearest-rank p95, success rates
+    — are bit-identical to a sequential run for any worker count.
+    """
+    order: list[tuple[str, int, int, str, float]] = []
+    cells: dict[tuple[str, int, int, str, float], list[ScenarioOutcome]] = {}
+    for spec in specs:
+        if spec.scenario_key not in cells:
+            order.append(spec.scenario_key)
+            cells[spec.scenario_key] = []
+    for outcome in outcomes:
+        key = (outcome.protocol, outcome.n, outcome.r, outcome.adversary, outcome.fault_rate)
+        cells[key].append(outcome)
+    rows = []
+    for key in order:
+        protocol, n, r, adversary, fault_rate = key
+        group = cells[key]
+        converged = [o for o in group if o.converged]
+        summary = TrialSummary(
+            label=f"{protocol}/adv={adversary}",
+            n=n,
+            trials=len(group),
+            converged=len(converged),
+            interactions=[float(o.interactions) for o in converged],
+            parallel_times=[o.parallel_time for o in converged],
+        )
+        rows.append(
+            {
+                "protocol": protocol,
+                "n": n,
+                "r": r if r != NO_R else "-",
+                "adversary": adversary,
+                "fault_rate": f"{fault_rate:g}",
+                "trials": summary.trials,
+                "success_rate": round(summary.success_rate, 3),
+                "median_interactions": summary.median_interactions,
+                "median_time": round(summary.median_time, 2),
+                "p95_time": round(summary.p95_time, 2),
+            }
+        )
+    return rows
+
+
+def run_sweep(
+    grid: GridSpec,
+    *,
+    workers: Optional[int] = 1,
+    jsonl_path: Optional[str | Path] = None,
+    resume: bool = False,
+    force: bool = False,
+    progress: Optional[ProgressCallback] = None,
+) -> SweepResult:
+    """Run (or resume) a scenario-grid sweep.
+
+    With ``jsonl_path`` set, every completed trial is appended to the file
+    as it lands — in global index order, courtesy of the streaming
+    engine's reorder buffer — so the file is always a clean, resumable
+    prefix of the full sweep.  ``resume=True`` re-reads an existing file,
+    truncates any partial final line a killed run left behind, and runs
+    only the missing specs; ``force=True`` discards an existing file.
+    An existing non-empty file with neither flag is an error rather than
+    a silent overwrite.
+
+    The aggregate rows (and, when every trial is written by this engine,
+    the JSONL bytes themselves) are identical for any ``workers`` value
+    and for any interrupt/resume split.
+    """
+    specs = expand_grid(grid)
+    completed: dict[int, ScenarioOutcome] = {}
+    path = Path(jsonl_path) if jsonl_path is not None else None
+    fresh_file = True
+    if path is not None and path.exists() and path.stat().st_size > 0:
+        if resume:
+            completed, valid_end = load_checkpoint(path, grid, specs)
+            with open(path, "r+b") as handle:
+                handle.truncate(valid_end)
+            fresh_file = valid_end == 0
+        elif force:
+            path.unlink()
+        else:
+            raise SweepError(
+                f"{path} already exists; resume it (--resume / resume=True) "
+                "or overwrite it (--force / force=True)"
+            )
+
+    to_run = [spec for spec in specs if spec.index not in completed]
+    outcomes = dict(completed)
+    done = len(completed)
+    total = len(specs)
+    if progress:
+        progress(done, total)
+    handle = None
+    try:
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle = open(path, "a", encoding="utf-8", newline="\n")
+            if fresh_file:
+                handle.write(_dump_line(_meta_record(grid)))
+                handle.flush()
+        for outcome in stream_ordered(to_run, run_scenario, workers=workers):
+            outcomes[outcome.index] = outcome
+            if handle is not None:
+                handle.write(_dump_line(outcome.to_record()))
+                handle.flush()
+            done += 1
+            if progress:
+                progress(done, total)
+    finally:
+        if handle is not None:
+            handle.close()
+    ordered = [outcomes[index] for index in range(total)]
+    return SweepResult(
+        grid=grid, specs=specs, outcomes=ordered, resumed_trials=len(completed)
+    )

@@ -15,6 +15,7 @@ a process pool with bit-identical results.
 
 from __future__ import annotations
 
+import math
 import statistics
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
@@ -53,11 +54,15 @@ class TrialSummary:
 
     @property
     def p95_time(self) -> float:
+        """Nearest-rank 95th percentile: the smallest value whose rank is
+        >= ceil(0.95 k).  ``int(0.95 k)`` would return the maximum (p100)
+        for any k not divisible by 20 — e.g. rank 19 of 20 is the p95,
+        not rank 20."""
         if not self.parallel_times:
             return float("nan")
         ordered = sorted(self.parallel_times)
-        index = min(len(ordered) - 1, int(0.95 * len(ordered)))
-        return ordered[index]
+        rank = min(len(ordered), math.ceil(0.95 * len(ordered)))
+        return ordered[rank - 1]
 
     @property
     def mean_time(self) -> float:

@@ -24,6 +24,49 @@ class TestParser:
         args = build_parser().parse_args(["statespace", "--sizes", "8", "16"])
         assert args.sizes == [8, 16]
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.protocols == ["elect_leader"]
+        assert args.ns == [16, 32] and args.rs == [4]
+        assert args.adversaries == ["clean"] and args.fault_rates == [0.0]
+        assert args.out == "sweep.jsonl" and not args.resume and not args.force
+
+
+class TestInputValidation:
+    """`-n`/`-r` are rejected at argparse level (clean usage error, exit 2)
+    instead of crashing deep inside the protocol with a traceback."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run", "-n", "-3"],
+            ["run", "-n", "1"],
+            ["run", "-r", "0"],
+            ["run", "-r", "-2"],
+            ["recover", "all_duplicate_rank", "-n", "0"],
+            ["recover", "all_duplicate_rank", "-r", "-1"],
+            ["tradeoff", "-n", "1"],
+            ["tradeoff", "--trials", "0"],
+            ["sweep", "--ns", "1"],
+            ["sweep", "--ns", "16", "-3"],
+            ["sweep", "--rs", "0"],
+            ["sweep", "--fault-rates", "-0.5"],
+            ["sweep", "--trials", "0"],
+        ],
+    )
+    def test_bad_values_exit_with_usage_error(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_r_exceeding_half_n_is_one_clean_line(self, capsys):
+        code = main(["run", "-n", "8", "-r", "7"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "1 <= r <= n/2" in err
+        assert "Traceback" not in err
+
 
 class TestCommands:
     def test_run_stabilizes(self, capsys):
@@ -63,3 +106,46 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "state_bits" in out
         assert "r=" not in out  # labels are numeric rows, not prefixed
+
+
+class TestSweepCommand:
+    SWEEP_ARGS = [
+        "sweep", "--protocols", "elect_leader", "--ns", "8", "--rs", "2",
+        "--adversaries", "clean", "random_soup", "--trials", "2", "--seed", "3",
+        "--max-interactions", "2000000", "--batch", "500", "--no-progress",
+    ]
+
+    def test_sweep_runs_and_writes_jsonl(self, capsys, tmp_path):
+        out = tmp_path / "sweep.jsonl"
+        code = main([*self.SWEEP_ARGS, "--out", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "Scenario sweep: 4 trials over 2 cells" in stdout
+        assert "random_soup" in stdout
+        lines = out.read_text().splitlines()
+        assert len(lines) == 5  # meta + 4 trials
+
+    def test_sweep_refuses_overwrite_then_resumes(self, capsys, tmp_path):
+        out = tmp_path / "sweep.jsonl"
+        assert main([*self.SWEEP_ARGS, "--out", str(out)]) == 0
+        first = capsys.readouterr().out
+        assert main([*self.SWEEP_ARGS, "--out", str(out)]) == 2
+        assert "already exists" in capsys.readouterr().err
+        assert main([*self.SWEEP_ARGS, "--out", str(out), "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert "4 resumed from checkpoint" in resumed
+        # The aggregate table is unchanged by the resume.
+        assert first.splitlines()[-3] == resumed.splitlines()[-3]
+
+    def test_sweep_workers_invariance_via_cli(self, capsys, tmp_path):
+        tables = []
+        for workers in ("1", "4"):
+            out = tmp_path / f"w{workers}.jsonl"
+            code = main([*self.SWEEP_ARGS, "--out", str(out), "--workers", workers])
+            assert code == 0
+            tables.append(capsys.readouterr().out)
+        # Identical apart from the per-run output path line.
+        def strip(text):
+            return [line for line in text.splitlines() if "results in" not in line]
+
+        assert strip(tables[0]) == strip(tables[1])

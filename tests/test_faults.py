@@ -8,16 +8,30 @@ from repro.adversary.initializers import (
     correct_verifier_configuration,
     single_agent_scrambler,
 )
+from repro.baselines.nonss_leader import PairwiseElimination
 from repro.core.elect_leader import ElectLeader
 from repro.core.params import ProtocolParams
 from repro.scheduler.rng import make_rng
-from repro.sim.faults import FaultInjector, measure_availability
+from repro.sim.faults import FaultEvent, FaultInjector, measure_availability
 from repro.sim.simulation import Simulation
 
 
 @pytest.fixture
 def protocol() -> ElectLeader:
     return ElectLeader(ProtocolParams(n=16, r=4))
+
+
+class ScriptedInjector:
+    """Injector-shaped test double: burst bookkeeping at fixed interactions,
+    no corruption — so repair-time accounting can be checked exactly."""
+
+    def __init__(self, burst_interactions):
+        self.events = []
+        self._script = sorted(burst_interactions)
+
+    def observe(self, sim, i, j):
+        while self._script and sim.metrics.interactions >= self._script[0]:
+            self.events.append(FaultEvent(self._script.pop(0), []))
 
 
 class TestFaultInjector:
@@ -89,6 +103,42 @@ class TestAvailability:
             )
             availabilities.append(report.availability)
         assert availabilities[0] > availabilities[1]
+
+    def test_one_repair_sample_per_burst(self):
+        # Regression: the checkpoint loop used to overwrite its pending
+        # burst with the *latest* one, so of several bursts landing before
+        # a correct checkpoint only the last produced a repair sample and
+        # earlier bursts were silently dropped.  The docstring contract is
+        # one sample per burst, measured to the first correct checkpoint.
+        protocol = PairwiseElimination(4)
+        report = measure_availability(
+            protocol,
+            lambda config: True,  # every checkpoint is correct
+            ScriptedInjector([100, 300]),
+            n=4,
+            seed=0,
+            total_interactions=1_000,
+            checkpoint_every=500,
+        )
+        assert report.fault_bursts == 2
+        # Both bursts repair at the checkpoint after interaction 500:
+        # 500 - 100 and 500 - 300 — not just the latest burst's 200.
+        assert report.repair_times == [400, 200]
+        assert report.availability == 1.0
+
+    def test_repair_measured_from_each_bursts_own_checkpoint(self):
+        protocol = PairwiseElimination(4)
+        report = measure_availability(
+            protocol,
+            lambda config: True,
+            ScriptedInjector([100, 700]),
+            n=4,
+            seed=0,
+            total_interactions=1_000,
+            checkpoint_every=500,
+        )
+        # Bursts in different checkpoint windows repair independently.
+        assert report.repair_times == [400, 300]
 
     def test_repair_times_recorded(self, protocol):
         corrupt = single_agent_scrambler(protocol)

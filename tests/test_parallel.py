@@ -24,6 +24,8 @@ from repro.sim.parallel import (
     resolve_workers,
     run_trial,
     run_trial_specs,
+    run_trial_specs_streaming,
+    stream_ordered,
 )
 from repro.sim.simulation import Simulation
 from repro.sim.trials import run_trials
@@ -150,6 +152,95 @@ class TestTrialSpecs:
         pooled = run_trial_specs(specs, workers=2)
         assert [o.index for o in pooled] == list(range(6))
         assert pooled == sequential
+
+
+class TestStreaming:
+    def _specs(self, protocol, count):
+        return [
+            TrialSpec(
+                index=index,
+                protocol=protocol,
+                predicate=protocol.is_goal_configuration,
+                seed=derive_seed(23, index),
+                max_interactions=100_000,
+                check_interval=8,
+                n=10,
+            )
+            for index in range(count)
+        ]
+
+    def test_streamed_equals_blocking_for_every_worker_count(self, protocol):
+        specs = self._specs(protocol, 8)
+        blocking = run_trial_specs(specs, workers=1)
+        for workers in (1, 2, 4, None):
+            streamed = list(run_trial_specs_streaming(specs, workers=workers))
+            assert streamed == blocking, f"workers={workers}"
+
+    def test_yields_in_spec_order(self, protocol):
+        specs = self._specs(protocol, 8)
+        streamed = run_trial_specs_streaming(specs, workers=4)
+        assert [outcome.index for outcome in streamed] == list(range(8))
+
+    def test_consumes_specs_lazily(self, protocol):
+        # The window bounds how far ahead of the consumer the engine reads,
+        # so endless spec generators stream in O(window) memory.
+        import itertools
+
+        def endless():
+            index = 0
+            while True:
+                yield self._specs(protocol, index + 1)[index]
+                index += 1
+
+        outcomes = list(itertools.islice(
+            run_trial_specs_streaming(endless(), workers=2, window=3), 5
+        ))
+        assert [outcome.index for outcome in outcomes] == list(range(5))
+
+    def test_unpicklable_spec_degrades_in_place(self, protocol):
+        class Unpicklable:
+            leader = True
+
+            def __reduce__(self):
+                raise TypeError("cannot pickle")
+
+        specs = self._specs(protocol, 5)
+        poisoned = list(specs)
+        poisoned[2] = TrialSpec(
+            index=2,
+            protocol=protocol,
+            predicate=protocol.is_goal_configuration,
+            seed=specs[2].seed,
+            max_interactions=100_000,
+            check_interval=8,
+            config=[Unpicklable() for _ in range(10)],
+        )
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            outcomes = list(run_trial_specs_streaming(poisoned, workers=2))
+        assert [outcome.index for outcome in outcomes] == list(range(5))
+        # The picklable neighbours still match the fully-picklable run.
+        reference = run_trial_specs(specs, workers=1)
+        assert [outcomes[i] for i in (0, 1, 3, 4)] == [reference[i] for i in (0, 1, 3, 4)]
+
+    def test_stream_ordered_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            list(stream_ordered([1, 2], _double, workers=2, window=0))
+
+    def test_stream_ordered_generic_function(self):
+        assert list(stream_ordered(range(10), _double, workers=2)) == [
+            value * 2 for value in range(10)
+        ]
+
+    def test_abandoned_stream_shuts_down_cleanly(self, protocol):
+        specs = self._specs(protocol, 8)
+        stream = run_trial_specs_streaming(specs, workers=2)
+        first = next(stream)
+        assert first.index == 0
+        stream.close()  # must not hang or leak worker processes
+
+
+def _double(value: int) -> int:
+    return value * 2
 
 
 class TestRunTrialsWorkers:

@@ -1,0 +1,273 @@
+"""Tests for the scenario-grid sweep engine (grid → stream → JSONL → resume).
+
+The two headline contracts:
+
+* worker count never changes anything — outcomes, aggregate rows, and the
+  JSONL bytes are identical for any ``workers`` value;
+* a sweep interrupted mid-run (truncated JSONL, partial final line) and
+  resumed produces byte-identical results to the uninterrupted sweep.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.sweep import (
+    CLEAN,
+    NO_R,
+    GridSpec,
+    SweepError,
+    aggregate_rows,
+    expand_grid,
+    load_checkpoint,
+    run_scenario,
+    run_sweep,
+)
+from repro.sim.trials import format_table
+
+
+def small_grid(**overrides) -> GridSpec:
+    """A seconds-scale grid mixing the paper protocol and a baseline."""
+    settings = dict(
+        protocols=("elect_leader", "pairwise_elimination"),
+        ns=(8, 10),
+        rs=(2,),
+        adversaries=(CLEAN, "random_soup"),
+        fault_rates=(0.0,),
+        trials=2,
+        seed=42,
+        max_interactions=2_000_000,
+        check_interval=500,
+    )
+    settings.update(overrides)
+    return GridSpec(**settings)
+
+
+class TestGridSpec:
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(SweepError, match="unknown protocol"):
+            small_grid(protocols=("elect_leader", "nope"))
+
+    def test_rejects_unknown_adversary(self):
+        with pytest.raises(SweepError, match="unknown adversary"):
+            small_grid(adversaries=("nope",))
+
+    def test_rejects_bad_axis_values(self):
+        with pytest.raises(SweepError):
+            small_grid(ns=(1,))
+        with pytest.raises(SweepError):
+            small_grid(rs=(0,))
+        with pytest.raises(SweepError):
+            small_grid(fault_rates=(-0.1,))
+        with pytest.raises(SweepError):
+            small_grid(trials=0)
+        with pytest.raises(SweepError):
+            small_grid(ns=())
+
+    def test_dict_round_trip(self):
+        grid = small_grid()
+        assert GridSpec.from_dict(grid.to_dict()) == grid
+
+
+class TestExpandGrid:
+    def test_full_product_for_elect_leader(self):
+        grid = small_grid(protocols=("elect_leader",), rs=(2, 3))
+        specs = expand_grid(grid)
+        # 2 ns × 2 rs × 2 adversaries × 1 fault rate × 2 trials
+        assert len(specs) == 16
+        assert [spec.index for spec in specs] == list(range(16))
+
+    def test_r_beyond_half_n_is_skipped(self):
+        grid = small_grid(protocols=("elect_leader",), ns=(8,), rs=(2, 5))
+        specs = expand_grid(grid)
+        assert {spec.r for spec in specs} == {2}
+
+    def test_baselines_collapse_unsupported_axes(self):
+        grid = small_grid(
+            protocols=("pairwise_elimination",),
+            ns=(8,),
+            rs=(1, 2, 4),
+            adversaries=(CLEAN, "random_soup"),
+            fault_rates=(0.0, 0.5),
+        )
+        specs = expand_grid(grid)
+        # One collapsed cell (r, adversary and fault axes all pinned).
+        assert len(specs) == grid.trials
+        assert all(spec.r == NO_R for spec in specs)
+        assert all(spec.adversary == CLEAN for spec in specs)
+        assert all(spec.fault_rate == 0.0 for spec in specs)
+
+    def test_empty_expansion_raises(self):
+        with pytest.raises(SweepError, match="no runnable scenarios"):
+            expand_grid(small_grid(protocols=("elect_leader",), ns=(4,), rs=(3,)))
+
+    def test_expansion_is_deterministic(self):
+        grid = small_grid()
+        assert expand_grid(grid) == expand_grid(grid)
+
+    def test_seeds_are_distinct_per_trial(self):
+        specs = expand_grid(small_grid())
+        seeds = [spec.seed for spec in specs]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestRunScenario:
+    def test_deterministic(self):
+        spec = expand_grid(small_grid())[3]
+        assert run_scenario(spec) == run_scenario(spec)
+
+    def test_outcome_mirrors_spec(self):
+        spec = expand_grid(small_grid())[5]
+        outcome = run_scenario(spec)
+        assert outcome.index == spec.index
+        assert outcome.seed == spec.seed
+        assert (outcome.protocol, outcome.n, outcome.r) == (spec.protocol, spec.n, spec.r)
+        assert outcome.converged
+        assert outcome.parallel_time == outcome.interactions / spec.n
+
+    def test_fault_injection_records_bursts(self):
+        grid = small_grid(
+            protocols=("elect_leader",),
+            ns=(8,),
+            adversaries=("random_soup",),
+            fault_rates=(0.5,),
+            trials=1,
+            max_interactions=50_000,
+        )
+        outcome = run_scenario(expand_grid(grid)[0])
+        assert outcome.fault_rate == 0.5
+        assert outcome.fault_bursts > 0
+
+
+class TestWorkerInvariance:
+    def test_rows_outcomes_and_jsonl_identical(self, tmp_path):
+        grid = small_grid()
+        results = {}
+        blobs = {}
+        for workers in (1, 2, 4):
+            path = tmp_path / f"w{workers}.jsonl"
+            results[workers] = run_sweep(grid, workers=workers, jsonl_path=path)
+            blobs[workers] = path.read_bytes()
+        assert results[1].outcomes == results[2].outcomes == results[4].outcomes
+        tables = {w: format_table(r.rows) for w, r in results.items()}
+        assert tables[1] == tables[2] == tables[4]
+        assert blobs[1] == blobs[2] == blobs[4]
+
+    def test_jsonl_schema(self, tmp_path):
+        grid = small_grid(protocols=("pairwise_elimination",), ns=(8,), trials=3)
+        path = tmp_path / "out.jsonl"
+        result = run_sweep(grid, workers=2, jsonl_path=path)
+        lines = path.read_text().splitlines()
+        meta = json.loads(lines[0])
+        assert meta["kind"] == "sweep-meta"
+        assert meta["grid"] == grid.to_dict()
+        trials = [json.loads(line) for line in lines[1:]]
+        assert [t["index"] for t in trials] == list(range(len(result.specs)))
+        assert all(t["kind"] == "trial" for t in trials)
+        assert {"protocol", "n", "r", "adversary", "fault_rate", "seed",
+                "converged", "interactions", "parallel_time"} <= set(trials[0])
+
+    def test_sweep_without_jsonl(self):
+        grid = small_grid(protocols=("pairwise_elimination",), ns=(8,), trials=2)
+        result = run_sweep(grid, workers=2)
+        assert len(result.outcomes) == 2
+        assert result.rows[0]["success_rate"] == 1.0
+
+
+class TestResume:
+    @pytest.fixture
+    def finished(self, tmp_path) -> tuple[GridSpec, Path, bytes, str]:
+        grid = small_grid()
+        path = tmp_path / "full.jsonl"
+        result = run_sweep(grid, workers=2, jsonl_path=path)
+        return grid, path, path.read_bytes(), format_table(result.rows)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_truncated_checkpoint_resumes_byte_identically(
+        self, finished, tmp_path, workers
+    ):
+        # The acceptance gate: interrupt mid-run (simulated by truncating
+        # the JSONL to a few complete lines plus a partial one, exactly
+        # what a killed writer leaves), resume, and compare bytes.
+        grid, _, full_bytes, full_table = finished
+        lines = full_bytes.split(b"\n")
+        truncated = b"\n".join(lines[:5]) + b"\n" + lines[5][:12]
+        path = tmp_path / "resumed.jsonl"
+        path.write_bytes(truncated)
+        result = run_sweep(grid, workers=workers, jsonl_path=path, resume=True)
+        assert result.resumed_trials == 4  # meta + 4 complete trial lines
+        assert path.read_bytes() == full_bytes
+        assert format_table(result.rows) == full_table
+
+    def test_resume_of_complete_sweep_runs_nothing(self, finished):
+        grid, path, full_bytes, full_table = finished
+        result = run_sweep(grid, workers=1, jsonl_path=path, resume=True)
+        assert result.resumed_trials == len(result.specs)
+        assert path.read_bytes() == full_bytes
+        assert format_table(result.rows) == full_table
+
+    def test_resume_missing_file_starts_fresh(self, finished, tmp_path):
+        grid, _, full_bytes, _ = finished
+        path = tmp_path / "fresh.jsonl"
+        result = run_sweep(grid, workers=2, jsonl_path=path, resume=True)
+        assert result.resumed_trials == 0
+        assert path.read_bytes() == full_bytes
+
+    def test_existing_file_without_resume_or_force_raises(self, finished):
+        grid, path, _, _ = finished
+        with pytest.raises(SweepError, match="already exists"):
+            run_sweep(grid, workers=1, jsonl_path=path)
+
+    def test_force_overwrites(self, finished):
+        grid, path, full_bytes, _ = finished
+        result = run_sweep(grid, workers=2, jsonl_path=path, force=True)
+        assert result.resumed_trials == 0
+        assert path.read_bytes() == full_bytes
+
+    def test_grid_mismatch_is_rejected(self, finished):
+        _, path, _, _ = finished
+        other = small_grid(seed=43)
+        with pytest.raises(SweepError, match="different grid"):
+            run_sweep(other, workers=1, jsonl_path=path, resume=True)
+
+    def test_corrupt_interior_line_is_rejected(self, finished, tmp_path):
+        grid, _, full_bytes, _ = finished
+        lines = full_bytes.split(b"\n")
+        lines[2] = b"{garbage"
+        path = tmp_path / "corrupt.jsonl"
+        path.write_bytes(b"\n".join(lines))
+        with pytest.raises(SweepError, match="corrupt"):
+            run_sweep(grid, workers=1, jsonl_path=path, resume=True)
+
+    def test_partial_meta_line_restarts(self, finished, tmp_path):
+        grid, _, full_bytes, _ = finished
+        path = tmp_path / "stub.jsonl"
+        path.write_bytes(full_bytes.split(b"\n")[0][:7])
+        result = run_sweep(grid, workers=2, jsonl_path=path, resume=True)
+        assert result.resumed_trials == 0
+        assert path.read_bytes() == full_bytes
+
+    def test_load_checkpoint_reports_valid_prefix(self, finished):
+        grid, path, full_bytes, _ = finished
+        specs = expand_grid(grid)
+        outcomes, valid_end = load_checkpoint(path, grid, specs)
+        assert len(outcomes) == len(specs)
+        assert valid_end == len(full_bytes)
+
+
+class TestAggregateRows:
+    def test_rows_follow_grid_order_and_handle_failures(self):
+        grid = small_grid(
+            protocols=("pairwise_elimination",), ns=(8,), trials=2,
+            max_interactions=5,  # guaranteed not to converge
+            check_interval=5,
+        )
+        specs = expand_grid(grid)
+        outcomes = [run_scenario(spec) for spec in specs]
+        rows = aggregate_rows(specs, outcomes)
+        assert len(rows) == 1
+        assert rows[0]["success_rate"] == 0.0
+        assert str(rows[0]["median_interactions"]) == "nan"

@@ -96,6 +96,30 @@ class TestSummaryStatistics:
         assert summary.mean_time == 3.0
         assert summary.median_interactions == 30
 
+    def test_p95_is_nearest_rank_not_maximum(self):
+        # Regression: int(0.95 * 20) == 19 indexed the maximum (p100);
+        # nearest-rank p95 of 20 samples is the 19th order statistic.
+        summary = TrialSummary(
+            label="x", n=4, trials=20, converged=20,
+            interactions=list(range(20)),
+            parallel_times=[float(value) for value in range(1, 21)],
+        )
+        assert summary.p95_time == 19.0
+
+    def test_p95_known_lists(self):
+        def p95(values):
+            return TrialSummary(
+                label="x", n=4, trials=len(values), converged=len(values),
+                interactions=list(values), parallel_times=list(values),
+            ).p95_time
+
+        assert p95([float(v) for v in range(1, 101)]) == 95.0  # ceil(95) = 95
+        assert p95([float(v) for v in range(1, 41)]) == 38.0  # ceil(38) = 38
+        assert p95([5.0, 1.0, 3.0]) == 5.0  # ceil(2.85) = 3 → maximum
+        assert p95([7.0]) == 7.0
+        # Order must not matter.
+        assert p95([20.0] + [float(v) for v in range(1, 20)]) == 19.0
+
     def test_as_row_keys(self):
         summary = TrialSummary("x", 4, 1, 1, [10], [1.0])
         row = summary.as_row()

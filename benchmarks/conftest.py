@@ -16,8 +16,8 @@ Run with::
 
     pytest benchmarks/ --benchmark-only
 
-Two environment knobs control the execution substrate (see
-:mod:`repro.sim.parallel`):
+Three environment knobs control the execution substrate (see
+:mod:`repro.sim.parallel` and :mod:`repro.sim.array_backend`):
 
 * ``REPRO_BENCH_WORKERS`` — worker processes for trial fan-out in every
   ``run_trials``-based experiment (unset or ``0`` = one per CPU; ``1`` =
@@ -25,6 +25,12 @@ Two environment knobs control the execution substrate (see
   wall-clock changes.
 * ``REPRO_BENCH_FAST=1`` — CI smoke mode: experiments that opt in via
   :func:`fast_scaled` trim their sweeps to minutes-scale budgets.
+* ``REPRO_BENCH_BACKEND`` — default execution engine (``object`` /
+  ``array``) for every ``run_trials``/``run_until`` call that does not
+  pin one explicitly.  Only finite-state protocols run on ``array``;
+  ``ElectLeader_r`` experiments fail fast under it by design, so set it
+  per-invocation, not globally.  ``bench_array_backend.py`` compares
+  both engines explicitly regardless of this knob.
 """
 
 from __future__ import annotations

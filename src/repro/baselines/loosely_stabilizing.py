@@ -115,6 +115,23 @@ class LooselyStabilizingLeaderElection(PopulationProtocol):
         return self.leader_count(config) == 1
 
     # ------------------------------------------------------------------
+    # Finite-state encoding (array backend): (leader bit, timer) pairs,
+    # laid out as leader-major blocks of (timer_max + 1) timer values.
+    # The transition is deterministic, so the generic S² table builder
+    # applies; S = 2·(T_max+1) stays in the hundreds even at n = 4096.
+    # ------------------------------------------------------------------
+
+    def num_states(self) -> int:
+        return self.state_count()
+
+    def encode_state(self, state: LooseState) -> int:
+        return int(state.leader) * (self.timer_max + 1) + state.timer
+
+    def decode_state(self, code: int) -> LooseState:
+        block = self.timer_max + 1
+        return LooseState(leader=bool(code // block), timer=code % block)
+
+    # ------------------------------------------------------------------
 
     def holding_time(self, config: list[LooseState], rng: RNG, budget: int) -> int:
         """Interactions until the unique-leader property first breaks.

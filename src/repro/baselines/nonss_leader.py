@@ -49,6 +49,17 @@ class PairwiseElimination(PopulationProtocol):
         if u.leader and v.leader:
             v.leader = False
 
+    # Finite-state encoding (array backend): the single leader bit.
+
+    def num_states(self) -> int:
+        return 2
+
+    def encode_state(self, state: LeaderBitState) -> int:
+        return int(state.leader)
+
+    def decode_state(self, code: int) -> LeaderBitState:
+        return LeaderBitState(leader=bool(code))
+
     def output(self, state: LeaderBitState) -> bool:
         return state.leader
 

@@ -14,6 +14,9 @@ and ``sweep`` under ``--workers N``: trials fan out over a process pool
 but each trial's randomness comes from its own derived seed, so worker
 count never changes the numbers.  ``--batch`` sets the convergence-check
 interval, which is also the batch size of the simulator's fast path.
+``sweep --backend array`` routes finite-state protocols through the
+vectorized numpy engine (default: ``$REPRO_BENCH_BACKEND``, else the
+object engine); see README "Execution backends".
 """
 
 from __future__ import annotations
@@ -28,7 +31,7 @@ from repro.analysis.theory import predicted_stabilization_interactions
 from repro.core.elect_leader import ElectLeader
 from repro.core.params import ProtocolParams
 from repro.scheduler.rng import make_rng
-from repro.sim.simulation import Simulation
+from repro.sim.simulation import BACKENDS, Simulation, resolve_backend
 from repro.sim.sweep import CLEAN, PROTOCOLS, GridSpec, SweepError, run_sweep
 from repro.sim.trials import format_table, run_trials
 
@@ -134,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-rates", nargs="+", type=_fault_rate, default=[0.0], metavar="RATE",
         help="fault bursts per unit of parallel time (0 = no injection)",
     )
+    sweep.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="execution engine: 'object' (per-interaction) or 'array' "
+        "(vectorized transition tables; finite-state protocols only). "
+        "Default: $REPRO_BENCH_BACKEND, else 'object'.",
+    )
     sweep.add_argument("--trials", type=_positive_int, default=5, help="trials per cell")
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--max-interactions", type=_positive_int, default=20_000_000)
@@ -231,6 +240,10 @@ def cmd_tradeoff(args: argparse.Namespace) -> int:
             check_interval=args.batch,
             label=f"r={r}",
             workers=args.workers,
+            # ElectLeader has no finite state encoding, so this command is
+            # object-engine only; pinning it keeps a stray
+            # $REPRO_BENCH_BACKEND from turning the sweep into a traceback.
+            backend="object",
         )
         rows.append(
             {
@@ -268,6 +281,10 @@ def _sweep_progress(stream) -> Callable[[int, int], None]:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        backend = resolve_backend(args.backend)
+    except ValueError as error:  # bad $REPRO_BENCH_BACKEND; --backend is choice-checked
+        raise _UsageError(str(error)) from error
     grid = GridSpec(
         protocols=tuple(args.protocols),
         ns=tuple(args.ns),
@@ -278,6 +295,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_interactions=args.max_interactions,
         check_interval=args.batch,
+        backend=backend,
     )
     progress = None if args.no_progress else _sweep_progress(sys.stderr)
     result = run_sweep(

@@ -12,6 +12,7 @@ from repro.core.protocol import PopulationProtocol
 from repro.core.roles import Role
 from repro.core.partition import RankPartition
 from repro.core.elect_leader import ElectLeader
+from repro.core.propagate_reset import ResetEpidemicProtocol
 
 __all__ = [
     "ProtocolParams",
@@ -19,4 +20,5 @@ __all__ = [
     "Role",
     "RankPartition",
     "ElectLeader",
+    "ResetEpidemicProtocol",
 ]

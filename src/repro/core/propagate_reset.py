@@ -22,11 +22,13 @@ exposes the transition as a function over :class:`AgentState` taking a
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.core.params import ProtocolParams
+from repro.core.protocol import PopulationProtocol
 from repro.core.roles import Role
 from repro.core.state import AgentState, PRState
+from repro.scheduler.rng import RNG
 
 #: Callback (re-)initializing an agent when it leaves dormancy (Protocol 6).
 ResetCallback = Callable[[AgentState], None]
@@ -104,6 +106,102 @@ def propagate_reset(
         partner_computing = b.role is not Role.RESETTING
         if a.pr.delay_timer == 0 or partner_computing:
             reset_agent(a)
+
+
+class ResetEpidemicProtocol(PopulationProtocol):
+    """Standalone ``PropagateReset`` as a runnable population protocol.
+
+    Wraps the reset epidemic with the trivial ``Reset`` callback "become a
+    clean awake agent", turning Appendix C into a self-contained protocol:
+    from any configuration with a triggered resetter, the reset wave
+    infects everyone, the population goes dormant, and every agent
+    restarts awake (Theorem C.2 / Corollary C.3).  The goal predicate is
+    "everyone awake", which is absorbing — two awake agents are a no-op.
+
+    This is the one *finite-state, deterministic* protocol in ``core/``:
+    its state is awake or ``(reset_count ≤ R_max, delay_timer ≤ D_max)``,
+    both timers ``Θ(log n)``, so it tabulates for the array backend where
+    the full ``ElectLeader_r`` cannot.  Experiments use it to measure the
+    reset epidemic's completion time in isolation at populations far
+    beyond what the object backend reaches.
+    """
+
+    name = "reset-epidemic"
+
+    def __init__(self, params: ProtocolParams):
+        self.params = params
+        self.n = params.n
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _restart(state: AgentState) -> None:
+        """Protocol 6, degenerate form: restart as a clean awake agent."""
+        state.role = Role.RANKING
+        state.pr = None
+        state.ar = None
+        state.sv = None
+        state.rank = 1
+        state.countdown = 0
+
+    def initial_state(self) -> AgentState:
+        """A clean awake agent (the post-restart state)."""
+        state = AgentState()
+        self._restart(state)
+        return state
+
+    def triggered_state(self) -> AgentState:
+        """A freshly-triggered resetter (Protocol 5)."""
+        state = AgentState()
+        trigger_reset(state, self.params)
+        return state
+
+    def triggered_configuration(self, n: int, sources: int = 1) -> list[AgentState]:
+        """``n`` agents with the first ``sources`` freshly triggered."""
+        if not 1 <= sources <= n:
+            raise ValueError(f"need 1 <= sources <= n, got {sources}, n={n}")
+        return [
+            self.triggered_state() if index < sources else self.initial_state()
+            for index in range(n)
+        ]
+
+    def transition(self, u: AgentState, v: AgentState, rng: RNG) -> None:
+        if u.role is Role.RESETTING or v.role is Role.RESETTING:
+            propagate_reset(u, v, self.params, self._restart)
+
+    def output(self, state: AgentState) -> bool:
+        """True iff the agent is awake (has restarted or never reset)."""
+        return state.role is not Role.RESETTING
+
+    def is_goal_configuration(self, config: Sequence[AgentState]) -> bool:
+        """The reset completed: every agent is awake again."""
+        return all(s.role is not Role.RESETTING for s in config)
+
+    # ------------------------------------------------------------------
+    # Finite-state encoding (array backend): code 0 is the awake agent;
+    # resetters occupy a dense (reset_count, delay_timer) grid above it.
+    # ------------------------------------------------------------------
+
+    def num_states(self) -> int:
+        return 1 + (self.params.reset_count_max + 1) * (self.params.delay_timer_max + 1)
+
+    def encode_state(self, state: AgentState) -> int:
+        if state.role is not Role.RESETTING:
+            return 0
+        assert state.pr is not None
+        return 1 + state.pr.reset_count * (self.params.delay_timer_max + 1) + state.pr.delay_timer
+
+    def decode_state(self, code: int) -> AgentState:
+        if code == 0:
+            return self.initial_state()
+        block = self.params.delay_timer_max + 1
+        count, delay = divmod(code - 1, block)
+        state = AgentState()
+        state.role = Role.RESETTING
+        state.pr = PRState(reset_count=count, delay_timer=delay)
+        state.rank = 1
+        state.countdown = 0
+        return state
 
 
 def is_dormant(state: AgentState) -> bool:

@@ -26,9 +26,12 @@ the simulator an adversarial configuration (see
 from __future__ import annotations
 
 import abc
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from repro.scheduler.rng import RNG
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim imports core)
+    from repro.sim.array_backend import TransitionTable
 
 
 class PopulationProtocol(abc.ABC):
@@ -61,6 +64,59 @@ class PopulationProtocol(abc.ABC):
         Default: exactly one agent outputs a truthy value (leader election).
         """
         return sum(1 for s in config if self.output(s)) == 1
+
+    # ------------------------------------------------------------------
+    # Finite-state encoding (the array backend's contract)
+    # ------------------------------------------------------------------
+    #
+    # A protocol whose state space is small and finite can opt into the
+    # vectorized numpy execution engine (:mod:`repro.sim.array_backend`)
+    # by implementing the three hooks below.  The contract:
+    #
+    # * ``num_states()`` returns the encoding size ``S`` (or ``None`` to
+    #   stay object-backend only);
+    # * ``encode_state``/``decode_state`` are inverse bijections between
+    #   the protocol's state objects and ``range(S)`` — every state
+    #   reachable from any supported start configuration must encode, and
+    #   ``encode_state(decode_state(k)) == k`` for all ``k < S``;
+    # * the transition function must be *deterministic* (it never touches
+    #   its ``rng`` argument), because the backend replays it from a
+    #   ``S × S`` lookup table.  The paper presents its main protocol with
+    #   sampling transitions, but Appendix B's derandomization argument is
+    #   exactly why the deterministic-δ restriction loses no generality
+    #   for protocols small enough to tabulate.
+
+    def num_states(self) -> Optional[int]:
+        """Size of the finite state encoding, or ``None``.
+
+        ``None`` (the default) means the protocol has no tractably small
+        finite encoding — e.g. ``ElectLeader_r`` with its
+        ``2^{Θ(r² log n)}`` states — and can only run on the object
+        backend.
+        """
+        return None
+
+    def encode_state(self, state: Any) -> int:
+        """Encode a state object as an integer in ``range(num_states())``."""
+        raise NotImplementedError(f"protocol '{self.name}' has no finite state encoding")
+
+    def decode_state(self, code: int) -> Any:
+        """Decode an integer in ``range(num_states())`` to a fresh state object."""
+        raise NotImplementedError(f"protocol '{self.name}' has no finite state encoding")
+
+    def transition_table(self) -> "TransitionTable":
+        """The dense pair-transition table used by the array backend.
+
+        Default: the generic builder enumerates all ``S × S`` ordered
+        state pairs through :meth:`transition` (rejecting transitions
+        that consume randomness).  Protocols with structured δ — e.g.
+        :class:`~repro.baselines.cai_izumi_wada.CaiIzumiWada`, whose
+        ``n × n`` table has a two-line closed form — override this with
+        a vectorized construction.
+        """
+        from repro.sim.array_backend import build_transition_table
+
+        return build_transition_table(self)
 
     # ------------------------------------------------------------------
 

@@ -1,6 +1,13 @@
 """Uniform random pairwise scheduler and reproducible RNG utilities."""
 
 from repro.scheduler.rng import RNG, make_rng, spawn_rngs
-from repro.scheduler.scheduler import RandomScheduler, RecordedSchedule
+from repro.scheduler.scheduler import ArrayScheduler, RandomScheduler, RecordedSchedule
 
-__all__ = ["RNG", "make_rng", "spawn_rngs", "RandomScheduler", "RecordedSchedule"]
+__all__ = [
+    "RNG",
+    "make_rng",
+    "spawn_rngs",
+    "ArrayScheduler",
+    "RandomScheduler",
+    "RecordedSchedule",
+]

@@ -39,31 +39,116 @@ class RandomScheduler:
         return i, j
 
     def next_pairs(self, count: int) -> list[tuple[int, int]]:
-        """``count`` independent pairs drawn in one call (batched fast path).
+        """``count`` independent pairs materialized in one call.
 
         Consumes the RNG stream exactly as ``count`` calls to
         :meth:`next_pair` would, so batched and stepwise executions of the
-        same seed are bit-identical.  The loop keeps everything in locals:
-        one attribute lookup per batch instead of several per interaction.
+        same seed are bit-identical.  Callers that immediately unpack the
+        pairs should prefer :meth:`pairs`, which draws identically but
+        never holds ``count`` tuples alive at once.
         """
         if count < 0:
             raise ValueError(f"pair count must be non-negative, got {count}")
-        randrange = self._rng.randrange
-        n = self.n
-        pairs: list[tuple[int, int]] = []
-        append = pairs.append
-        for _ in range(count):
-            i = randrange(n)
-            j = randrange(n - 1)
-            if j >= i:
-                j += 1
-            append((i, j))
-        return pairs
+        return list(self.pairs(count))
 
     def pairs(self, count: int) -> Iterator[tuple[int, int]]:
-        """A stream of ``count`` independent pairs."""
+        """A stream of ``count`` independent pairs (the batch-loop fast path).
+
+        Identical RNG consumption to :meth:`next_pairs`, but each pair is
+        yielded, unpacked, and freed in turn — the simulator's batch loop
+        used to materialize a list of ``count`` tuples per draw only to
+        throw it away.  The hot locals (``randrange``, ``n``) are bound
+        once per stream rather than once per pair.
+        """
+        randrange = self._rng.randrange
+        n = self.n
+        n_minus_1 = n - 1
         for _ in range(count):
-            yield self.next_pair()
+            i = randrange(n)
+            j = randrange(n_minus_1)
+            if j >= i:
+                j += 1
+            yield i, j
+
+
+class ArrayScheduler:
+    """Vectorized sibling of :class:`RandomScheduler` for the array backend.
+
+    Draws uniformly random ordered pairs of distinct agents in blocks of
+    ``count`` at a time, as two parallel numpy index vectors.  The
+    rejection-free construction is the same as :meth:`RandomScheduler
+    .next_pair` — ``i ~ U[0, n)``, ``j ~ U[0, n-1)`` shifted up past ``i``
+    — so the pair distribution is *identical* to the object scheduler's.
+
+    **RNG stream.**  This scheduler owns a dedicated ``numpy`` PCG64
+    stream seeded independently of the object backend's Mersenne-Twister
+    stream.  The two backends therefore sample the same pair distribution
+    but different concrete sequences: cross-backend runs of one seed are
+    *distribution-equal, not bit-equal* (see README "Execution backends").
+    PCG64's cross-platform reproducibility guarantee keeps array-backend
+    runs themselves bit-stable for a given seed.
+
+    **Slicing invariance.**  The generator is consumed in fixed-size
+    internal chunks (``DRAW_CHUNK`` pairs at a time) that ``next_pairs``
+    slices to order, so the pair *sequence* is a pure function of the
+    seed: drawing 1000 pairs one at a time, or as 4 × 250, or as one
+    block yields the same pairs.  Downstream, that is what makes array
+    runs independent of block size and convergence-check interval,
+    mirroring the object scheduler's batching guarantee.
+    """
+
+    #: Pairs drawn from the generator per internal refill.
+    DRAW_CHUNK = 1 << 13
+
+    def __init__(self, n: int, seed: int):
+        if n < 2:
+            raise ValueError(f"need at least two agents to interact, got n={n}")
+        import numpy  # deferred: the object backend must not require numpy
+
+        self.n = n
+        self.seed = seed
+        self._np = numpy
+        self._rng = numpy.random.Generator(numpy.random.PCG64(seed))
+        self._buffer_i = None
+        self._buffer_j = None
+        self._cursor = 0
+
+    def _refill(self) -> None:
+        np = self._np
+        count = self.DRAW_CHUNK
+        self._buffer_i = self._rng.integers(0, self.n, size=count, dtype=np.int64)
+        responders = self._rng.integers(0, self.n - 1, size=count, dtype=np.int64)
+        responders += responders >= self._buffer_i
+        self._buffer_j = responders
+        self._cursor = 0
+
+    def next_pairs(self, count: int):
+        """Draw ``count`` ordered pairs as ``(initiators, responders)`` arrays.
+
+        Both arrays are fresh ``int64`` arrays of length ``count`` with
+        ``initiators[k] != responders[k]`` for every ``k``.
+        """
+        if count < 0:
+            raise ValueError(f"pair count must be non-negative, got {count}")
+        np = self._np
+        parts_i = []
+        parts_j = []
+        remaining = count
+        while remaining > 0:
+            if self._buffer_i is None or self._cursor >= self.DRAW_CHUNK:
+                self._refill()
+            take = min(remaining, self.DRAW_CHUNK - self._cursor)
+            stop = self._cursor + take
+            parts_i.append(self._buffer_i[self._cursor:stop])
+            parts_j.append(self._buffer_j[self._cursor:stop])
+            self._cursor = stop
+            remaining -= take
+        if len(parts_i) == 1:
+            return parts_i[0].copy(), parts_j[0].copy()
+        if not parts_i:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        return np.concatenate(parts_i), np.concatenate(parts_j)
 
 
 class RecordedSchedule:

@@ -19,8 +19,24 @@ from repro.sim.parallel import (
     run_trial_specs_streaming,
     stream_ordered,
 )
+from repro.sim.array_backend import (
+    ArrayBackendError,
+    ArraySimulation,
+    TransitionTable,
+    apply_pair_block,
+    build_transition_table,
+    replay_array,
+    transition_table_for,
+)
 from repro.sim.replay import replay, record_and_replay_matches
-from repro.sim.simulation import Simulation, SimulationResult, run_until
+from repro.sim.simulation import (
+    BACKENDS,
+    Simulation,
+    SimulationResult,
+    make_simulation,
+    resolve_backend,
+    run_until,
+)
 from repro.sim.sweep import (
     GridSpec,
     ScenarioOutcome,
@@ -40,6 +56,16 @@ __all__ = [
     "Simulation",
     "SimulationResult",
     "run_until",
+    "make_simulation",
+    "resolve_backend",
+    "BACKENDS",
+    "ArrayBackendError",
+    "ArraySimulation",
+    "TransitionTable",
+    "apply_pair_block",
+    "build_transition_table",
+    "transition_table_for",
+    "replay_array",
     "Metrics",
     "TrialSummary",
     "run_trials",

@@ -1,0 +1,551 @@
+"""Vectorized numpy execution engine for finite-state protocols.
+
+The object backend (:class:`repro.sim.simulation.Simulation`) pays Python
+dispatch for every interaction; that is the wall-clock bottleneck for the
+population sizes (n ≥ 10³–10⁴) where the paper's asymptotic claims become
+visible.  This module is the opt-in fast path: protocols whose state space
+is small and finite (see :meth:`PopulationProtocol.num_states`) are
+compiled to a dense ``S × S`` **pair-transition table**, the configuration
+becomes an ``int64`` state-code array, scheduler pairs are drawn in
+vectorized blocks (:class:`repro.scheduler.scheduler.ArrayScheduler`), and
+transitions are applied by table lookup.
+
+**Which protocols qualify.**  A transition table exists iff the protocol
+exposes the encoding hooks *and* its transition function is deterministic
+(never touches its ``rng`` argument).  In this repository that covers the
+finite-state protocols: the Cai–Izumi–Wada ``n``-state SSLE baseline,
+loosely-stabilizing leader election, pairwise elimination, the epidemic
+substrates, and the standalone reset epidemic.  ``ElectLeader_r`` itself
+is *provably* out of reach: Theorem 1.1 prices its speed at
+``2^{O(r² log n)}`` states (countdowns alone take ``Θ((n/r) log n)``
+values, FastLeaderElect identifiers range over ``[n³]``), so there is no
+small finite encoding to tabulate — requesting ``backend="array"`` for it
+raises :class:`ArrayBackendError` with exactly that explanation.
+
+**Sequential-conflict-safe block application.**  A block of pairs drawn in
+advance cannot be applied in one vectorized shot: if agent ``a`` interacts
+at block positions 3 and 7, position 7 must read the state position 3
+wrote.  :func:`apply_pair_block` resolves this with *first-occurrence
+rounds*: in each round it applies (fully vectorized) every pending pair
+that is the earliest pending occurrence of **both** its agents — such
+pairs are mutually disjoint and each has no unapplied predecessor, so the
+round is exactly a prefix-consistent chunk of the sequential order — then
+repeats on the remainder.  The result is bit-identical to applying the
+block's pairs one at a time, which is what makes `RecordedSchedule` replay
+through this engine **exact**, not just distribution-equal (the
+equivalence gate in ``tests/test_array_backend.py`` checks this for every
+table protocol).
+
+**Determinism and cross-backend equivalence.**  An array-backend run is a
+pure function of ``(protocol, initial configuration, seed)``, like an
+object-backend run — but the two backends draw their scheduler pairs from
+different generators (PCG64 vs Mersenne Twister) over the *same* uniform
+pair distribution, so they agree in distribution, not bit-for-bit.  The
+cross-backend contract, gated by tests and ``bench_array_backend.py``:
+same convergence verdicts, statistically indistinguishable
+stabilization-time distributions, and exact trajectory agreement when both
+replay one recorded schedule.
+
+numpy is an optional dependency (``pip install .[array]``); importing this
+module without it succeeds, and every entry point raises a clear
+:class:`ArrayBackendError` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence
+from weakref import WeakKeyDictionary
+
+from repro.core.protocol import PopulationProtocol
+from repro.scheduler.rng import derive_seed
+from repro.scheduler.scheduler import ArrayScheduler
+from repro.sim.metrics import Metrics
+from repro.sim.simulation import ConfigPredicate, SimulationResult
+
+try:  # pragma: no cover - exercised implicitly on every import
+    import numpy as _np
+except ImportError:  # pragma: no cover - container images bake numpy in
+    _np = None
+
+#: Upper bound on pairs per vectorized block.  Blocks scale with n (more
+#: agents = fewer within-block conflicts = fewer application rounds) but
+#: are capped so block buffers stay a few MB even at n ≥ 10⁶.
+MAX_BLOCK = 1 << 16
+
+#: Refuse tables above this many entries (two int32 arrays ≈ 8 bytes per
+#: entry): the dense representation is the point of the backend, and a
+#: protocol large enough to blow this limit should not pretend to be
+#: "finite-state" in the tractable sense.
+MAX_TABLE_ENTRIES = 1 << 25
+
+
+class ArrayBackendError(RuntimeError):
+    """The array backend cannot run this protocol (or numpy is missing)."""
+
+
+def require_numpy():
+    """Return the numpy module, or raise a clear error if it is absent."""
+    if _np is None:
+        raise ArrayBackendError(
+            "the array backend requires numpy; install it with "
+            "'pip install repro-podc25-leader-election[array]' or use backend='object'"
+        )
+    return _np
+
+
+class _TableRNG:
+    """Poisoned RNG handed to transitions during table building.
+
+    Any attribute access (``randrange``, ``random``, ...) proves the
+    transition consumes randomness, which a lookup table cannot replay.
+    """
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str):
+        raise ArrayBackendError(
+            f"transition consumed randomness (rng.{name}) while building the "
+            "transition table; randomized protocols cannot run on the array "
+            "backend — derandomize first (Appendix B) or use backend='object'"
+        )
+
+
+@dataclass(frozen=True)
+class TransitionTable:
+    """Dense encoding of δ: ``(u_out[a, b], v_out[a, b]) = δ(a, b)``.
+
+    Both tables are ``(S, S)`` int32 arrays over state codes; ``S`` is
+    :attr:`num_states`.  Int32 halves the footprint of the natural int64
+    (the Cai–Izumi–Wada table at n=4096 is 2 × 64 MB as int32).
+    """
+
+    num_states: int
+    u_out: Any  # np.ndarray, shape (S, S), dtype int32
+    v_out: Any  # np.ndarray, shape (S, S), dtype int32
+
+    def __post_init__(self) -> None:
+        np = require_numpy()
+        expected = (self.num_states, self.num_states)
+        for name, table in (("u_out", self.u_out), ("v_out", self.v_out)):
+            if not isinstance(table, np.ndarray) or table.shape != expected:
+                raise ArrayBackendError(
+                    f"{name} must be a numpy array of shape {expected}, "
+                    f"got {getattr(table, 'shape', type(table))}"
+                )
+            if table.size and (table.min() < 0 or table.max() >= self.num_states):
+                raise ArrayBackendError(f"{name} contains codes outside range(S)")
+
+    def lookup(self, a: int, b: int) -> tuple[int, int]:
+        """Scalar δ lookup (test/debug convenience)."""
+        return int(self.u_out[a, b]), int(self.v_out[a, b])
+
+    @property
+    def flat(self):
+        """``(u_flat, v_flat)`` raveled views for single-gather lookups."""
+        return self.u_out.ravel(), self.v_out.ravel()
+
+
+def build_transition_table(protocol: PopulationProtocol) -> TransitionTable:
+    """Generic table builder: enumerate all ``S × S`` pairs through δ.
+
+    Decodes every ordered state pair, applies :meth:`transition` with a
+    poisoned RNG (so randomized transitions fail loudly instead of being
+    frozen into the table), and records the encoded results.  Cost is
+    ``S²`` transition calls — fine for the ``S ≲ 10³`` protocols that use
+    this default; larger structured tables (Cai–Izumi–Wada's ``n × n``)
+    override :meth:`PopulationProtocol.transition_table` with a closed
+    form instead.
+    """
+    np = require_numpy()
+    size = protocol.num_states()
+    if size is None:
+        raise ArrayBackendError(
+            f"protocol '{protocol.name}' has no finite state encoding "
+            "(num_states() is None), so it cannot run on the array backend; "
+            "use backend='object'"
+        )
+    if size < 1:
+        raise ArrayBackendError(f"num_states() must be >= 1, got {size}")
+    if size * size > MAX_TABLE_ENTRIES:
+        raise ArrayBackendError(
+            f"protocol '{protocol.name}' has {size} states; its dense "
+            f"{size}x{size} table exceeds the {MAX_TABLE_ENTRIES}-entry cap"
+        )
+    u_out = np.empty((size, size), dtype=np.int32)
+    v_out = np.empty((size, size), dtype=np.int32)
+    rng = _TableRNG()
+    decode = protocol.decode_state
+    encode = protocol.encode_state
+    transition = protocol.transition
+    for a in range(size):
+        row_u = u_out[a]
+        row_v = v_out[a]
+        for b in range(size):
+            u = decode(a)
+            v = decode(b)
+            transition(u, v, rng)  # type: ignore[arg-type]
+            row_u[b] = encode(u)
+            row_v[b] = encode(v)
+    return TransitionTable(num_states=size, u_out=u_out, v_out=v_out)
+
+
+#: Per-protocol-instance table cache: tables are pure functions of the
+#: protocol's parameters, and building one costs up to S² δ calls.
+_TABLE_CACHE: "WeakKeyDictionary[PopulationProtocol, TransitionTable]" = WeakKeyDictionary()
+
+
+def transition_table_for(protocol: PopulationProtocol) -> TransitionTable:
+    """The protocol's transition table, built at most once per instance."""
+    table = _TABLE_CACHE.get(protocol)
+    if table is None:
+        table = protocol.transition_table()
+        _TABLE_CACHE[protocol] = table
+    return table
+
+
+def reachable_state_codes(
+    protocol: PopulationProtocol,
+    seeds: Iterable[Any],
+    limit: Optional[int] = None,
+) -> set[int]:
+    """Codes reachable from ``seeds`` under δ-closure over ordered pairs.
+
+    Walks the transition table from the seed states' codes until no new
+    code appears (or ``limit`` codes are seen).  Tests use this to check
+    that an encoding covers everything its start configurations can reach
+    — the enumeration-completeness half of the table contract.
+    """
+    table = transition_table_for(protocol)
+    known: set[int] = {int(protocol.encode_state(seed)) for seed in seeds}
+    frontier = set(known)
+    while frontier:
+        fresh: set[int] = set()
+        for a in frontier:
+            for b in known:
+                for x, y in ((a, b), (b, a)):
+                    out_u, out_v = table.lookup(x, y)
+                    for code in (out_u, out_v):
+                        if code not in known:
+                            fresh.add(code)
+        known |= fresh
+        frontier = fresh
+        if limit is not None and len(known) > limit:
+            raise ArrayBackendError(f"more than {limit} reachable states")
+    return known
+
+
+# ---------------------------------------------------------------------------
+# Configuration codecs
+# ---------------------------------------------------------------------------
+
+
+def encode_configuration(protocol: PopulationProtocol, config: Sequence[Any]):
+    """Encode a list of state objects as an ``int64`` state-code array."""
+    np = require_numpy()
+    encode = protocol.encode_state
+    return np.fromiter((encode(s) for s in config), dtype=np.int64, count=len(config))
+
+
+def decode_configuration(protocol: PopulationProtocol, codes) -> list[Any]:
+    """Decode a state-code array back to fresh state objects."""
+    decode = protocol.decode_state
+    return [decode(int(code)) for code in codes]
+
+
+# ---------------------------------------------------------------------------
+# Sequential-conflict-safe block application
+# ---------------------------------------------------------------------------
+
+
+#: Pending-pair count below which the round loop finishes scalar: a tail
+#: of k conflicted pairs costs k numpy rounds in the worst case (a chain
+#: on one agent) but only one cheap Python loop.
+SCALAR_TAIL = 64
+
+
+class Workspace:
+    """Preallocated per-simulation buffers for :func:`apply_pair_block`.
+
+    Rounds run many small numpy ops; reusing the scratch arrays and the
+    position templates (``arange`` and its pairwise-repeated form) keeps
+    the per-round fixed overhead to the kernels that do real work.
+    """
+
+    def __init__(self, n: int, max_block: int):
+        np = require_numpy()
+        self.max_block = max_block
+        self.first = np.empty(n, dtype=np.int64)
+        self.agents = np.empty(2 * max_block, dtype=np.int64)
+        self.positions = np.arange(max_block, dtype=np.int64)
+        self.doubled = np.repeat(self.positions, 2)
+
+
+def _apply_scalar(codes, initiators, responders, table: TransitionTable) -> None:
+    """Plain sequential application (the tail path and the oracle).
+
+    Touches only the agents named by the pairs — the tail is a handful of
+    conflicted pairs, so an O(n) densify of ``codes`` would dominate it.
+    """
+    size = table.num_states
+    u_flat, v_flat = table.flat
+    for i, j in zip(initiators.tolist(), responders.tolist()):
+        index = int(codes[i]) * size + int(codes[j])
+        codes[i] = u_flat[index]
+        codes[j] = v_flat[index]
+
+
+def _retire_inert_pairs(codes, initiators, responders, table: TransitionTable, workspace):
+    """Drop pairs that are provably no-ops; return the remaining pairs.
+
+    A pair is *inert* if δ maps its agents' current codes to themselves.
+    Inert pairs cannot be dropped blindly — an earlier pair may change one
+    of their agents first — so contamination is closed transitively: flag
+    every agent touched by an active pair, then repeatedly flag both
+    agents of any pair touching a flagged agent.  At the fixpoint, pairs
+    split cleanly into both-agents-flagged (kept, order-sensitive) and
+    both-agents-unflagged (retired): unflagged agents are touched only by
+    retired pairs, which stay inert because unflagged agents never change.
+    Silent(-ish) protocols — CIW near a permutation, epidemics near
+    saturation — retire most of every block here for a few vector ops.
+    """
+    np = require_numpy()
+    size = table.num_states
+    u_flat, v_flat = table.flat
+    a = codes[initiators]
+    b = codes[responders]
+    index = a * size
+    index += b
+    active = u_flat.take(index) != a
+    active |= v_flat.take(index) != b
+    if not active.any():
+        return initiators[:0], responders[:0]
+    hot = workspace.first  # reused as a per-agent contamination flag
+    hot[:] = 0
+    hot[initiators[active]] = 1
+    hot[responders[active]] = 1
+    kept = active
+    while True:
+        touching = hot[initiators] == 1
+        touching |= hot[responders] == 1
+        if touching.sum() == kept.sum():
+            return initiators[touching], responders[touching]
+        kept = touching
+        hot[initiators[touching]] = 1
+        hot[responders[touching]] = 1
+
+
+def apply_pair_block(codes, initiators, responders, table: TransitionTable, workspace=None):
+    """Apply a block of ordered pairs to ``codes`` in sequential order.
+
+    ``codes`` is the ``(n,)`` int64 configuration (mutated in place);
+    ``initiators``/``responders`` are equal-length index vectors.  The
+    first-occurrence-rounds scheme (module docstring) makes the result
+    bit-identical to a pair-at-a-time loop while staying vectorized:
+
+    * ``first[a]`` = earliest pending block position touching agent ``a``,
+      computed by a reversed fancy-index scatter (later writes win, so
+      writing positions in descending order leaves the minimum);
+    * a pair is *ready* iff it is the first pending occurrence of both its
+      agents; ready pairs are mutually disjoint and prefix-consistent, so
+      one gather/lookup/scatter applies them all;
+    * non-ready pairs carry to the next round.  The earliest pending pair
+      is always ready, so every round makes progress; once fewer than
+      ``SCALAR_TAIL`` pairs remain the loop finishes scalar — conflict
+      chains shrink rounds geometrically, so the tail is where vectorized
+      rounds stop paying for their dispatch.  Adversarial schedules (one
+      hot pair repeated) degrade to the scalar loop, never to wrong
+      results.
+    """
+    np = require_numpy()
+    if initiators.shape != responders.shape:
+        raise ValueError("initiator and responder vectors must have equal length")
+    if workspace is None or initiators.size > workspace.max_block:
+        workspace = Workspace(codes.shape[0], max(1, initiators.size))
+    first = workspace.first
+    u_flat, v_flat = table.flat
+    size = table.num_states
+    if initiators.size > SCALAR_TAIL:
+        initiators, responders = _retire_inert_pairs(
+            codes, initiators, responders, table, workspace
+        )
+    while initiators.size > SCALAR_TAIL:
+        count = initiators.size
+        positions = workspace.positions[:count]
+        first[:] = count
+        agents = workspace.agents[: 2 * count]
+        agents[0::2] = initiators
+        agents[1::2] = responders
+        first[agents[::-1]] = workspace.doubled[: 2 * count][::-1]
+        ready = first[initiators] == positions
+        ready &= first[responders] == positions
+        ready_i = initiators[ready]
+        ready_j = responders[ready]
+        index = codes[ready_i]
+        index *= size
+        index += codes[ready_j]
+        codes[ready_j] = v_flat.take(index)
+        codes[ready_i] = u_flat.take(index)
+        pending = ~ready
+        initiators = initiators[pending]
+        responders = responders[pending]
+    if initiators.size:
+        _apply_scalar(codes, initiators, responders, table)
+    return codes
+
+
+# ---------------------------------------------------------------------------
+# The array simulation
+# ---------------------------------------------------------------------------
+
+
+class ArraySimulation:
+    """Table-backed counterpart of :class:`repro.sim.simulation.Simulation`.
+
+    Mirrors the object engine's surface — ``run``/``run_batch``/
+    ``run_until``/``metrics``/``config`` — over an ``int64`` state-code
+    array.  Seeding: the pair stream is ``PCG64(derive_seed(seed, 0))``
+    (the scheduler slot of the object backend's seed derivation, through
+    the array scheduler's own generator family); table protocols are
+    deterministic, so the transition stream (slot 1) is never consumed.
+
+    Observers are not supported: per-interaction callbacks would force
+    scalar dispatch and negate the backend.  Use the object backend for
+    instrumented runs.
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        config: Optional[Sequence[Any]] = None,
+        n: Optional[int] = None,
+        seed: int = 0,
+        block_size: Optional[int] = None,
+    ):
+        np = require_numpy()
+        self.protocol = protocol
+        self.table = transition_table_for(protocol)
+        if config is None:
+            if n is None:
+                raise ValueError("provide either an initial config or a population size n")
+            config = protocol.clean_configuration(n)
+        self.codes = encode_configuration(protocol, config)
+        self.n = int(self.codes.shape[0])
+        if self.n < 2:
+            raise ValueError("population must have at least two agents")
+        if self.codes.size and (self.codes.min() < 0 or self.codes.max() >= self.table.num_states):
+            raise ArrayBackendError("initial configuration encodes outside range(num_states)")
+        self.seed = seed
+        self.scheduler = ArrayScheduler(self.n, derive_seed(seed, 0))
+        self.metrics = Metrics(n=self.n)
+        if block_size is None:
+            # ~n/2 pairs per block keeps the expected per-agent multiplicity
+            # around 1, so most pairs apply in the first one or two rounds.
+            block_size = min(MAX_BLOCK, max(256, self.n // 2))
+        if block_size < 1:
+            raise ValueError(f"block size must be positive, got {block_size}")
+        self.block_size = block_size
+        self._workspace = Workspace(self.n, block_size)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> list[Any]:
+        """The current configuration as fresh decoded state objects."""
+        return decode_configuration(self.protocol, self.codes)
+
+    def run(self, interactions: int) -> None:
+        """Run a fixed number of interactions."""
+        self.run_batch(interactions)
+
+    def run_batch(self, count: int) -> None:
+        """Run ``count`` interactions through the vectorized path."""
+        if count < 0:
+            raise ValueError(f"interaction count must be non-negative, got {count}")
+        remaining = count
+        while remaining > 0:
+            block = min(remaining, self.block_size)
+            initiators, responders = self.scheduler.next_pairs(block)
+            apply_pair_block(self.codes, initiators, responders, self.table, self._workspace)
+            remaining -= block
+        self.metrics.interactions += count
+
+    def run_until(
+        self,
+        predicate: ConfigPredicate,
+        max_interactions: int,
+        check_interval: int = 1,
+    ) -> SimulationResult:
+        """Run until ``predicate(config)`` holds or the budget is exhausted.
+
+        Identical check discipline to the object backend: the predicate is
+        evaluated (on a decoded configuration) before the first step and
+        then every ``check_interval`` interactions.
+        """
+        if check_interval < 1:
+            raise ValueError("check_interval must be positive")
+        if predicate(self.config):
+            return self._result(converged=True)
+        remaining = max_interactions
+        while remaining > 0:
+            burst = min(check_interval, remaining)
+            self.run_batch(burst)
+            remaining -= burst
+            if predicate(self.config):
+                return self._result(converged=True)
+        return self._result(converged=False)
+
+    def apply_schedule(self, schedule: Iterable[tuple[int, int]]) -> None:
+        """Apply a fixed interaction sequence (e.g. a ``RecordedSchedule``).
+
+        Exact replay: the conflict-safe block machinery reproduces the
+        sequential application of ``schedule`` bit-for-bit, so the final
+        configuration matches :func:`repro.sim.replay.replay` on the
+        object backend whenever both start from the same configuration.
+        """
+        np = require_numpy()
+        pairs = list(schedule)
+        if not pairs:
+            return
+        initiators = np.fromiter((i for i, _ in pairs), dtype=np.int64, count=len(pairs))
+        responders = np.fromiter((j for _, j in pairs), dtype=np.int64, count=len(pairs))
+        for vector in (initiators, responders):
+            if vector.size and (vector.min() < 0 or vector.max() >= self.n):
+                raise ValueError("schedule references agent outside population")
+        if ((initiators == responders).any()):
+            raise ValueError("self-interaction is not a valid pair")
+        start = 0
+        while start < len(pairs):
+            stop = min(start + self.block_size, len(pairs))
+            apply_pair_block(
+                self.codes, initiators[start:stop], responders[start:stop],
+                self.table, self._workspace,
+            )
+            start = stop
+        self.metrics.interactions += len(pairs)
+
+    def _result(self, converged: bool) -> SimulationResult:
+        return SimulationResult(
+            converged=converged,
+            interactions=self.metrics.interactions,
+            parallel_time=self.metrics.parallel_time,
+            metrics=self.metrics,
+            config=self.config,
+        )
+
+
+def replay_array(
+    protocol: PopulationProtocol,
+    config: Sequence[Any],
+    schedule: Iterable[tuple[int, int]],
+) -> list[Any]:
+    """Array-backend counterpart of :func:`repro.sim.replay.replay`.
+
+    Applies ``schedule`` to ``config`` through the transition table and
+    returns the final configuration as decoded state objects.  Unlike the
+    random-schedule path, this is *exact* relative to the object backend:
+    same schedule + same start ⇒ identical final states.
+    """
+    sim = ArraySimulation(protocol, config=list(config), seed=0)
+    sim.apply_schedule(schedule)
+    return sim.config

@@ -47,7 +47,13 @@ from repro.sim.simulation import ConfigPredicate, run_until
 
 @dataclass
 class TrialSpec:
-    """One fully-determined trial, picklable for process fan-out."""
+    """One fully-determined trial, picklable for process fan-out.
+
+    ``backend`` names the execution engine (``"object"`` or ``"array"``,
+    see :func:`repro.sim.simulation.resolve_backend`); it is resolved in
+    the parent so every worker process runs the same engine regardless of
+    its own environment.
+    """
 
     index: int
     protocol: PopulationProtocol
@@ -57,6 +63,7 @@ class TrialSpec:
     check_interval: int = 1
     config: Optional[list[Any]] = None
     n: Optional[int] = None
+    backend: str = "object"
 
 
 @dataclass
@@ -79,6 +86,7 @@ def run_trial(spec: TrialSpec) -> TrialOutcome:
         seed=spec.seed,
         max_interactions=spec.max_interactions,
         check_interval=spec.check_interval,
+        backend=spec.backend,
     )
     return TrialOutcome(
         index=spec.index,

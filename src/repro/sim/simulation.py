@@ -14,6 +14,7 @@ transition-function sampling, through two independent derived streams.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
@@ -22,10 +23,13 @@ from repro.scheduler.rng import RNG, derive_seed, make_rng
 from repro.scheduler.scheduler import RandomScheduler
 from repro.sim.metrics import Metrics
 
-#: Upper bound on pairs materialized per scheduler draw in the batched
-#: fast path — keeps ``run_batch`` memory O(1) in the batch size while
-#: amortizing per-batch dispatch (the RNG stream is unaffected).
-MAX_BATCH_DRAW = 1 << 16
+#: The two execution backends ``Simulation``-shaped runs can use.
+BACKEND_OBJECT = "object"
+BACKEND_ARRAY = "array"
+BACKENDS = (BACKEND_OBJECT, BACKEND_ARRAY)
+
+#: Environment variable naming the default backend (see resolve_backend).
+BACKEND_ENV = "REPRO_BENCH_BACKEND"
 
 #: A predicate over the full configuration.
 ConfigPredicate = Callable[[Sequence[Any]], bool]
@@ -91,14 +95,15 @@ class Simulation:
     def run_batch(self, count: int) -> None:
         """Run ``count`` interactions through the batched fast path.
 
-        All scheduler pairs are drawn in one :meth:`RandomScheduler.next_pairs`
-        call and the transitions applied in a tight loop that touches only
-        locals; the interaction counter is bumped once per batch.  Because
-        observers may read ``metrics.interactions`` (or mutate the
-        configuration) mid-run, any registered observer routes the batch
-        through the per-step path instead — either way the RNG streams are
-        consumed identically, so ``run_batch(k)`` is bit-identical to ``k``
-        calls of :meth:`step`.
+        Scheduler pairs stream through the lazy :meth:`RandomScheduler
+        .pairs` iterator — each pair is drawn, unpacked, and freed in turn
+        (never a list of ``count`` tuples) — and transitions run in a
+        tight loop that touches only locals; the interaction counter is
+        bumped once per batch.  Because observers may read
+        ``metrics.interactions`` (or mutate the configuration) mid-run,
+        any registered observer routes the batch through the per-step path
+        instead — either way the RNG streams are consumed identically, so
+        ``run_batch(k)`` is bit-identical to ``k`` calls of :meth:`step`.
         """
         if count < 0:
             raise ValueError(f"interaction count must be non-negative, got {count}")
@@ -109,13 +114,8 @@ class Simulation:
         config = self.config
         transition = self.protocol.transition
         rng = self.transition_rng
-        next_pairs = self.scheduler.next_pairs
-        remaining = count
-        while remaining > 0:
-            chunk = min(remaining, MAX_BATCH_DRAW)
-            for i, j in next_pairs(chunk):
-                transition(config[i], config[j], rng)
-            remaining -= chunk
+        for i, j in self.scheduler.pairs(count):
+            transition(config[i], config[j], rng)
         self.metrics.interactions += count
 
     def run_until(
@@ -153,6 +153,44 @@ class Simulation:
         )
 
 
+def resolve_backend(backend: Optional[str]) -> str:
+    """Normalize a backend request: ``None`` → ``$REPRO_BENCH_BACKEND`` → object.
+
+    The environment variable gives benchmarks and the CLI a process-wide
+    default without threading a flag through every call site; an explicit
+    ``backend=`` argument always wins.
+    """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV, "") or BACKEND_OBJECT
+    if backend not in BACKENDS:
+        known = ", ".join(BACKENDS)
+        raise ValueError(f"unknown backend '{backend}' (known: {known})")
+    return backend
+
+
+def make_simulation(
+    protocol: PopulationProtocol,
+    *,
+    config: Optional[list[Any]] = None,
+    n: Optional[int] = None,
+    seed: int = 0,
+    backend: Optional[str] = None,
+):
+    """Build a simulation on the requested execution backend.
+
+    ``backend="object"`` returns the per-interaction :class:`Simulation`;
+    ``backend="array"`` returns the vectorized table-backed engine
+    (:class:`repro.sim.array_backend.ArraySimulation`), which requires the
+    protocol to expose a finite state encoding.  Both expose ``run`` /
+    ``run_batch`` / ``run_until`` / ``metrics`` / ``config``.
+    """
+    if resolve_backend(backend) == BACKEND_ARRAY:
+        from repro.sim.array_backend import ArraySimulation
+
+        return ArraySimulation(protocol, config=config, n=n, seed=seed)
+    return Simulation(protocol, config=config, n=n, seed=seed)
+
+
 def run_until(
     protocol: PopulationProtocol,
     predicate: ConfigPredicate,
@@ -162,7 +200,8 @@ def run_until(
     seed: int = 0,
     max_interactions: int,
     check_interval: int = 1,
+    backend: Optional[str] = None,
 ) -> SimulationResult:
-    """One-shot convenience wrapper around :class:`Simulation`."""
-    sim = Simulation(protocol, config=config, n=n, seed=seed)
+    """One-shot convenience wrapper around :func:`make_simulation`."""
+    sim = make_simulation(protocol, config=config, n=n, seed=seed, backend=backend)
     return sim.run_until(predicate, max_interactions, check_interval)

@@ -50,7 +50,12 @@ from repro.core.protocol import PopulationProtocol
 from repro.scheduler.rng import derive_seed, make_rng
 from repro.sim.faults import FaultInjector
 from repro.sim.parallel import stream_ordered
-from repro.sim.simulation import ConfigPredicate, Simulation
+from repro.sim.simulation import (
+    BACKENDS,
+    BACKEND_OBJECT,
+    ConfigPredicate,
+    make_simulation,
+)
 from repro.sim.trials import TrialSummary
 
 #: Adversary name meaning "clean start" (protocol's own initial states).
@@ -91,6 +96,9 @@ class ProtocolKind:
     collapse it to a single cell recorded with ``r = 0``.  Adversary
     initializers and fault injection scramble ``ElectLeader`` state
     layouts specifically, so only ``elect_leader`` supports them.
+    ``supports_array`` marks protocols with a finite state encoding that
+    can run on the vectorized array backend — ``elect_leader`` cannot
+    (``2^{Θ(r² log n)}`` states admit no transition table).
     """
 
     name: str
@@ -98,6 +106,7 @@ class ProtocolKind:
     supports_adversaries: bool
     supports_faults: bool
     build: Callable[[int, int], tuple[PopulationProtocol, ConfigPredicate]]
+    supports_array: bool = False
 
 
 def _build_elect_leader(n: int, r: int) -> tuple[PopulationProtocol, ConfigPredicate]:
@@ -127,15 +136,15 @@ PROTOCOLS: dict[str, ProtocolKind] = {
     ),
     "pairwise_elimination": ProtocolKind(
         "pairwise_elimination", uses_r=False, supports_adversaries=False,
-        supports_faults=False, build=_build_pairwise,
+        supports_faults=False, build=_build_pairwise, supports_array=True,
     ),
     "cai_izumi_wada": ProtocolKind(
         "cai_izumi_wada", uses_r=False, supports_adversaries=False,
-        supports_faults=False, build=_build_cai_izumi_wada,
+        supports_faults=False, build=_build_cai_izumi_wada, supports_array=True,
     ),
     "loosely_stabilizing": ProtocolKind(
         "loosely_stabilizing", uses_r=False, supports_adversaries=False,
-        supports_faults=False, build=_build_loose,
+        supports_faults=False, build=_build_loose, supports_array=True,
     ),
 }
 
@@ -164,8 +173,26 @@ class GridSpec:
     seed: int = 0
     max_interactions: int = 20_000_000
     check_interval: int = 1_000
+    backend: str = BACKEND_OBJECT
 
     def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            known = ", ".join(BACKENDS)
+            raise SweepError(f"unknown backend '{self.backend}' (known: {known})")
+        if self.backend != BACKEND_OBJECT:
+            unsupported = [
+                name for name in self.protocols
+                if name in PROTOCOLS and not PROTOCOLS[name].supports_array
+            ]
+            if unsupported:
+                capable = ", ".join(
+                    sorted(name for name, kind in PROTOCOLS.items() if kind.supports_array)
+                )
+                raise SweepError(
+                    f"protocols {unsupported} have no finite state encoding and "
+                    f"cannot run on the '{self.backend}' backend "
+                    f"(array-capable: {capable})"
+                )
         for name, values in (
             ("protocols", self.protocols), ("ns", self.ns), ("rs", self.rs),
             ("adversaries", self.adversaries), ("fault_rates", self.fault_rates),
@@ -229,6 +256,7 @@ class ScenarioSpec:
     seed: int  # child seed derived from (grid seed, index) in the parent
     max_interactions: int
     check_interval: int
+    backend: str = BACKEND_OBJECT  # execution engine, resolved in the parent
 
     @property
     def scenario_key(self) -> tuple[str, int, int, str, float]:
@@ -259,6 +287,7 @@ class ScenarioOutcome:
     interactions: int
     parallel_time: float
     fault_bursts: int = 0
+    backend: str = BACKEND_OBJECT
 
     def to_record(self) -> dict[str, Any]:
         record: dict[str, Any] = {"kind": _TRIAL_KIND}
@@ -272,6 +301,7 @@ class ScenarioOutcome:
             "trial", "seed", "converged", "interactions", "parallel_time",
         )}
         fields["fault_bursts"] = record.get("fault_bursts", 0)
+        fields["backend"] = record.get("backend", BACKEND_OBJECT)
         return cls(**fields)
 
 
@@ -320,6 +350,7 @@ def expand_grid(grid: GridSpec) -> list[ScenarioSpec]:
                     seed=derive_seed(grid.seed, index),
                     max_interactions=grid.max_interactions,
                     check_interval=grid.check_interval,
+                    backend=grid.backend,
                 )
             )
     if not specs:
@@ -349,9 +380,15 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
     if spec.adversary != CLEAN:
         adversary_rng = make_rng(derive_seed(spec.seed, _ADVERSARY_STREAM))
         config = ADVERSARIES[spec.adversary](protocol, adversary_rng)
-    sim = Simulation(protocol, config=config, n=None if config else spec.n, seed=spec.seed)
+    sim = make_simulation(
+        protocol, config=config, n=None if config else spec.n,
+        seed=spec.seed, backend=spec.backend,
+    )
     injector: Optional[FaultInjector] = None
     if spec.fault_rate > 0:
+        # Fault injection needs per-interaction observers, which only the
+        # object backend has; GridSpec validation keeps array sweeps to
+        # fault-free protocols, so this branch never runs on 'array'.
         injector = FaultInjector(
             single_agent_scrambler(protocol),
             rate=spec.fault_rate,
@@ -373,6 +410,7 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
         interactions=result.interactions,
         parallel_time=result.parallel_time,
         fault_bursts=len(injector.events) if injector else 0,
+        backend=spec.backend,
     )
 
 
@@ -429,7 +467,15 @@ def load_checkpoint(
         raise SweepError(f"{path}: first line is not a {_META_KIND} record")
     if meta.get("version") != _JSONL_VERSION:
         raise SweepError(f"{path}: unsupported checkpoint version {meta.get('version')}")
-    if meta.get("grid") != grid.to_dict():
+    stored_grid = meta.get("grid")
+    if isinstance(stored_grid, dict):
+        # Checkpoints written before the backend knob existed carry no
+        # "backend" key; they are object-backend files, so defaulting the
+        # key (mirroring ScenarioOutcome.from_record) keeps them
+        # resumable instead of rejecting them as "a different grid".
+        stored_grid = dict(stored_grid)
+        stored_grid.setdefault("backend", BACKEND_OBJECT)
+    if stored_grid != grid.to_dict():
         raise SweepError(
             f"{path}: checkpoint was written for a different grid; "
             "re-run with the original flags or start a fresh output file"
@@ -452,6 +498,7 @@ def load_checkpoint(
             or (outcome.n, outcome.r) != (spec.n, spec.r)
             or outcome.adversary != spec.adversary
             or outcome.fault_rate != spec.fault_rate
+            or outcome.backend != spec.backend
         ):
             raise SweepError(
                 f"{path}: trial record {outcome.index} does not match the grid "

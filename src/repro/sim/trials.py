@@ -23,7 +23,7 @@ from typing import Any, Callable, Optional, Sequence
 from repro.core.protocol import PopulationProtocol
 from repro.scheduler.rng import derive_seed
 from repro.sim.parallel import TrialSpec, run_trial_specs
-from repro.sim.simulation import ConfigPredicate
+from repro.sim.simulation import ConfigPredicate, resolve_backend
 
 #: Builds a fresh initial configuration for trial ``index`` (or None for clean).
 ConfigFactory = Callable[[int], Optional[list[Any]]]
@@ -92,6 +92,7 @@ def run_trials(
     config_factory: Optional[ConfigFactory] = None,
     label: str = "",
     workers: Optional[int] = 1,
+    backend: Optional[str] = None,
 ) -> TrialSummary:
     """Run ``trials`` independent seeded executions and aggregate.
 
@@ -104,7 +105,14 @@ def run_trials(
     ``None``/``0`` uses one worker per CPU.  The summary is identical for
     every worker count — each trial is determined by its derived seed, and
     outcomes are aggregated in trial order.
+
+    ``backend`` selects the execution engine per trial (``"object"`` /
+    ``"array"``; ``None`` resolves ``$REPRO_BENCH_BACKEND``, defaulting
+    to object).  It is resolved here, in the parent, so worker processes
+    cannot disagree about which engine ran.
     """
+    engine = resolve_backend(backend)
+
     def build_spec(index: int) -> TrialSpec:
         config = config_factory(index) if config_factory is not None else None
         return TrialSpec(
@@ -116,6 +124,7 @@ def run_trials(
             check_interval=check_interval,
             config=config,
             n=None if config is not None else n,
+            backend=engine,
         )
 
     # A generator keeps the sequential path at O(one config) peak memory:

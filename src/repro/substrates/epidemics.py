@@ -57,6 +57,18 @@ class EpidemicProtocol(PopulationProtocol):
             u.marked = True
             v.marked = True
 
+    # Finite-state encoding (array backend): the infection bit.  Shared by
+    # the one-way variant, whose δ differs but whose state space does not.
+
+    def num_states(self) -> int:
+        return 2
+
+    def encode_state(self, state: MarkState) -> int:
+        return int(state.marked)
+
+    def decode_state(self, code: int) -> MarkState:
+        return MarkState(marked=bool(code))
+
     def output(self, state: MarkState) -> bool:
         return state.marked
 

@@ -149,3 +149,44 @@ class TestSweepCommand:
             return [line for line in text.splitlines() if "results in" not in line]
 
         assert strip(tables[0]) == strip(tables[1])
+
+    def test_sweep_array_backend(self, capsys, tmp_path):
+        pytest.importorskip("numpy")
+        out = tmp_path / "array.jsonl"
+        code = main([
+            "sweep", "--protocols", "cai_izumi_wada", "pairwise_elimination",
+            "--ns", "8", "--trials", "2", "--seed", "3", "--backend", "array",
+            "--max-interactions", "200000", "--batch", "100", "--no-progress",
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert '"backend":"array"' in out.read_text()
+
+    def test_sweep_array_backend_rejects_elect_leader(self, capsys, tmp_path):
+        code = main([
+            "sweep", "--protocols", "elect_leader", "--ns", "8", "--rs", "2",
+            "--backend", "array", "--no-progress",
+            "--out", str(tmp_path / "x.jsonl"),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "array" in err
+
+    def test_sweep_backend_env_default(self, capsys, tmp_path, monkeypatch):
+        pytest.importorskip("numpy")
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "array")
+        out = tmp_path / "env.jsonl"
+        code = main([
+            "sweep", "--protocols", "pairwise_elimination", "--ns", "8",
+            "--trials", "1", "--max-interactions", "100000", "--batch", "100",
+            "--no-progress", "--out", str(out),
+        ])
+        assert code == 0
+        assert '"backend":"array"' in out.read_text()
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "bogus")
+        code = main([
+            "sweep", "--protocols", "pairwise_elimination", "--ns", "8",
+            "--trials", "1", "--no-progress", "--out", str(tmp_path / "y.jsonl"),
+        ])
+        assert code == 2
+        assert "unknown backend" in capsys.readouterr().err

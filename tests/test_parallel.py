@@ -18,7 +18,6 @@ import pytest
 from repro.baselines.nonss_leader import PairwiseElimination
 from repro.scheduler.rng import derive_seed, make_rng
 from repro.scheduler.scheduler import RandomScheduler
-from repro.sim import simulation as simulation_module
 from repro.sim.parallel import (
     TrialSpec,
     resolve_workers,
@@ -59,6 +58,24 @@ class TestNextPairs:
         with pytest.raises(ValueError):
             scheduler.next_pairs(-1)
 
+    def test_pairs_stream_matches_materialized_draw(self):
+        # The lazy iterator is the batch loop's fast path: same RNG
+        # consumption, same pairs, no list of `count` tuples held alive.
+        streamed = RandomScheduler(9, make_rng(7))
+        materialized = RandomScheduler(9, make_rng(7))
+        assert list(streamed.pairs(250)) == materialized.next_pairs(250)
+        # Both leave the stream in the same place.
+        assert streamed.next_pair() == materialized.next_pair()
+
+    def test_pairs_stream_is_lazy(self):
+        scheduler = RandomScheduler(9, make_rng(7))
+        reference = RandomScheduler(9, make_rng(7))
+        stream = scheduler.pairs(100)
+        # Nothing consumed until iteration starts.
+        assert scheduler.next_pair() == reference.next_pair()
+        first = next(stream)
+        assert first == reference.next_pair()
+
 
 class TestRunBatch:
     def test_bit_identical_to_stepwise(self, protocol):
@@ -88,17 +105,16 @@ class TestRunBatch:
         with pytest.raises(ValueError):
             sim.run_batch(-5)
 
-    def test_large_batches_are_chunked(self, protocol, monkeypatch):
-        # Batches beyond MAX_BATCH_DRAW materialize pairs chunk by chunk
-        # (bounded memory); the RNG streams and results are unchanged.
-        monkeypatch.setattr(simulation_module, "MAX_BATCH_DRAW", 64)
-        chunked = Simulation(protocol, n=10, seed=21)
-        chunked.run_batch(300)
-        monkeypatch.undo()
+    def test_split_batches_match_one_large_batch(self, protocol):
+        # The lazy pair stream makes batch memory O(1) in the batch size;
+        # splitting a batch never changes the RNG streams or the results.
+        split = Simulation(protocol, n=10, seed=21)
+        for _ in range(5):
+            split.run_batch(60)
         whole = Simulation(protocol, n=10, seed=21)
         whole.run_batch(300)
-        assert [s.leader for s in chunked.config] == [s.leader for s in whole.config]
-        assert chunked.metrics.interactions == whole.metrics.interactions == 300
+        assert [s.leader for s in split.config] == [s.leader for s in whole.config]
+        assert split.metrics.interactions == whole.metrics.interactions == 300
 
     def test_run_until_unchanged_by_batching(self, protocol):
         # run_until now routes bursts through run_batch; the convergence

@@ -233,6 +233,26 @@ class TestResume:
         with pytest.raises(SweepError, match="different grid"):
             run_sweep(other, workers=1, jsonl_path=path, resume=True)
 
+    def test_pre_backend_checkpoint_still_resumes(self, finished, tmp_path):
+        # Checkpoints written before the backend knob existed carry
+        # neither a grid "backend" key nor per-trial "backend" fields;
+        # they are object-backend files and must keep resuming.
+        grid, _, full_bytes, full_table = finished
+        lines = full_bytes.decode().splitlines()
+        legacy = []
+        for line in lines:
+            record = json.loads(line)
+            if record["kind"] == "sweep-meta":
+                record["grid"].pop("backend")
+            else:
+                record.pop("backend")
+            legacy.append(json.dumps(record, separators=(",", ":")))
+        path = tmp_path / "legacy.jsonl"
+        path.write_text("\n".join(legacy[:3]) + "\n")
+        result = run_sweep(grid, workers=1, jsonl_path=path, resume=True)
+        assert result.resumed_trials == 2  # legacy meta + 2 legacy trials
+        assert format_table(result.rows) == full_table
+
     def test_corrupt_interior_line_is_rejected(self, finished, tmp_path):
         grid, _, full_bytes, _ = finished
         lines = full_bytes.split(b"\n")

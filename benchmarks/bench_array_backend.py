@@ -26,10 +26,9 @@ regression gate, run by CI's ``bench-perf`` job:
 
 from __future__ import annotations
 
-import json
 import time
 
-from conftest import FAST, RESULTS_DIR, run_once
+from conftest import FAST, update_perf_summary, run_once
 
 from repro.analysis.stats import bootstrap_ci
 from repro.baselines.cai_izumi_wada import CaiIzumiWada
@@ -110,16 +109,17 @@ def test_e18_array_backend_speedup(benchmark, record_table):
         rows,
         f"E18: object vs array backend wall-clock (n={N}, {BUDGET} interactions)",
     )
-    RESULTS_DIR.mkdir(exist_ok=True)
-    summary = {
-        "experiment": "E18_array_backend",
-        "n": N,
-        "interactions": BUDGET,
-        "fast_mode": FAST,
-        "speedup_floor": SPEEDUP_FLOOR,
-        "rows": rows,
-    }
-    (RESULTS_DIR / "perf-summary.json").write_text(json.dumps(summary, indent=2) + "\n")
+    update_perf_summary(
+        "E18_array_backend",
+        {
+            "experiment": "E18_array_backend",
+            "n": N,
+            "interactions": BUDGET,
+            "fast_mode": FAST,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "rows": rows,
+        },
+    )
 
     # ElectLeader_r has no finite encoding: the array backend must refuse
     # it loudly, never silently fall back to something slower or wrong.

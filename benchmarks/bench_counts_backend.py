@@ -1,0 +1,180 @@
+"""E20 — Counts-backend speedup gate at the n = 10⁶ frontier.
+
+The counts backend exists so that the paper's asymptotic claims can be
+probed where they live: stabilization-vs-``n`` curves at ``n ≥ 10⁶`` for
+the ``S ≪ n`` protocol family.  This benchmark is its regression gate,
+run by CI's ``bench-perf`` job:
+
+* **E20 (workload gate)** — the *stabilization workload* (run to the
+  convergence verdict, checking every ``n/4`` interactions — parallel-time
+  resolution ¼) on a table protocol at ``n = 10⁶`` must be **≥ 10×**
+  faster on the counts backend than on the array backend.  The headline
+  row is the two-way epidemic (Lemma A.2's ``c_epi · n log n`` primitive,
+  the engine under every broadcast in ``ElectLeader_r``): both engines
+  simulate the same interaction law, but the counts engine applies
+  collision-free runs as ``O(S)`` aggregate deltas and evaluates
+  convergence on the count vector in ``O(S)``, while the array engine
+  pays ``O(n)`` conflict bookkeeping per block and decodes ``n`` state
+  objects per convergence check (its contract is config predicates over
+  per-agent state — per-agent identity is exactly what it sells; an
+  array-side aggregate-predicate fast path would narrow the check gap
+  and is noted as follow-up in the ROADMAP).  Raw engine throughput
+  (``run_batch`` only, no convergence checks) is reported alongside,
+  un-gated: at ``n = 10⁶`` the two engines are within small factors of
+  each other there, and the end-to-end experiment — the thing the
+  ROADMAP actually runs — is where the representations diverge.
+
+* **E20b (verdict agreement)** — both engines reach the verdict, at
+  completion interaction counts within a small factor of each other
+  (distribution-equal engines measured at the same check resolution).
+
+Results land in ``benchmarks/results/perf-summary.json`` (merged beside
+E18's rows) for the CI artifact.  ``ElectLeader_r`` is asserted to fail
+loudly on the counts backend, mirroring E18's array-side assertion.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import FAST, run_once, update_perf_summary
+
+from repro.baselines.loosely_stabilizing import LooselyStabilizingLeaderElection
+from repro.core.elect_leader import ElectLeader
+from repro.core.params import BaselineParams, ProtocolParams
+from repro.sim.array_backend import ArraySimulation, transition_table_for
+from repro.sim.counts_backend import (
+    CountsBackendError,
+    CountsSimulation,
+    goal_counts_predicate,
+)
+from repro.substrates.epidemics import EpidemicProtocol
+
+#: The acceptance bar (≥ 10×) applies at the full n = 10⁶ configuration;
+#: FAST smoke runs at n = 10⁵ with a lenient floor so loaded shared
+#: runners don't flake.
+N = 100_000 if FAST else 1_000_000
+SPEEDUP_FLOOR = 3.0 if FAST else 10.0
+#: Convergence-check cadence: ¼ parallel-time resolution, the granularity
+#: a stabilization-vs-n curve actually needs.
+CHECK_INTERVAL = N // 4
+#: Two-way epidemic completion concentrates near n·ln n; 30n is generous.
+BUDGET = 30 * N
+#: Raw-throughput comparison budget (run_batch only, no checks).
+RAW_BUDGET = 500_000 if FAST else 2_000_000
+
+
+def _epidemic_codes(n: int):
+    import numpy
+
+    codes = numpy.zeros(n, dtype=numpy.int64)
+    codes[0] = 1  # one infected source
+    return codes
+
+
+def test_e20_counts_backend_speedup(benchmark, record_table):
+    def experiment():
+        protocol = EpidemicProtocol()
+        predicate = goal_counts_predicate(protocol)
+        transition_table_for(protocol)  # built once, cached; excluded from timings
+
+        rows = []
+        workload = {}
+        for name, build in (
+            ("counts", lambda: CountsSimulation(protocol, codes=_epidemic_codes(N), seed=3)),
+            ("array", lambda: ArraySimulation(protocol, codes=_epidemic_codes(N), seed=3)),
+        ):
+            sim = build()
+            t0 = time.perf_counter()
+            result = sim.run_until(predicate, max_interactions=BUDGET,
+                                   check_interval=CHECK_INTERVAL)
+            elapsed = time.perf_counter() - t0
+            workload[name] = (result, elapsed)
+            rows.append(
+                {
+                    "workload": f"epidemic-completion/{name}",
+                    "n": N,
+                    "converged": result.converged,
+                    "interactions": result.interactions,
+                    "seconds": round(elapsed, 3),
+                }
+            )
+
+        # Raw engine throughput, convergence checks excluded (informational).
+        loose = LooselyStabilizingLeaderElection(BaselineParams(n=N))
+        transition_table_for(loose)
+        raw = {}
+        for label, protocol_r, factory in (
+            ("epidemic", protocol,
+             lambda p: CountsSimulation(p, codes=_epidemic_codes(N), seed=5)),
+            ("epidemic", protocol,
+             lambda p: ArraySimulation(p, codes=_epidemic_codes(N), seed=5)),
+            ("loose", loose, lambda p: CountsSimulation(p, n=N, seed=5)),
+            ("loose", loose, lambda p: ArraySimulation(p, n=N, seed=5)),
+        ):
+            sim = factory(protocol_r)
+            engine = type(sim).__name__.replace("Simulation", "").lower()
+            t0 = time.perf_counter()
+            sim.run_batch(RAW_BUDGET)
+            elapsed = time.perf_counter() - t0
+            raw[(label, engine)] = elapsed
+            rows.append(
+                {
+                    "workload": f"raw-batch/{label}/{engine}",
+                    "n": N,
+                    "converged": "-",
+                    "interactions": RAW_BUDGET,
+                    "seconds": round(elapsed, 3),
+                }
+            )
+        return rows, workload, raw
+
+    rows, workload, raw = run_once(benchmark, experiment)
+    counts_result, counts_s = workload["counts"]
+    array_result, array_s = workload["array"]
+    speedup = array_s / counts_s if counts_s > 0 else float("inf")
+    for row in rows:
+        row["speedup_vs_array"] = ""
+    rows[0]["speedup_vs_array"] = round(speedup, 2)
+    record_table(
+        "E20_counts_backend",
+        rows,
+        f"E20: counts vs array backend (n={N}, stabilization workload "
+        f"checked every n/4; raw batches of {RAW_BUDGET})",
+    )
+    update_perf_summary(
+        "E20_counts_backend",
+        {
+            "experiment": "E20_counts_backend",
+            "n": N,
+            "fast_mode": FAST,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "workload_speedup": round(speedup, 2),
+            "counts_seconds": round(counts_s, 3),
+            "array_seconds": round(array_s, 3),
+            "raw_seconds": {
+                f"{label}/{engine}": round(value, 3)
+                for (label, engine), value in raw.items()
+            },
+            "rows": rows,
+        },
+    )
+
+    # ElectLeader_r has no finite encoding: the counts backend must refuse
+    # it loudly, never silently fall back to something slower or wrong.
+    elect = ElectLeader(ProtocolParams(n=64, r=4))
+    try:
+        CountsSimulation(elect, n=64, seed=0)
+    except CountsBackendError:
+        pass
+    else:  # pragma: no cover - regression guard
+        raise AssertionError("ElectLeader must be rejected by the counts backend")
+
+    # E20b: same verdict at the same check resolution, completion counts
+    # within a small factor (distribution-equal engines).
+    assert counts_result.converged and array_result.converged, rows
+    ratio = counts_result.interactions / array_result.interactions
+    assert 1 / 1.5 < ratio < 1.5, rows
+
+    # E20: the ≥10× workload gate (≥3× in FAST smoke).
+    assert speedup >= SPEEDUP_FLOOR, rows

@@ -25,16 +25,19 @@ Three environment knobs control the execution substrate (see
   wall-clock changes.
 * ``REPRO_BENCH_FAST=1`` — CI smoke mode: experiments that opt in via
   :func:`fast_scaled` trim their sweeps to minutes-scale budgets.
-* ``REPRO_BENCH_BACKEND`` — default execution engine (``object`` /
-  ``array``) for every ``run_trials``/``run_until`` call that does not
-  pin one explicitly.  Only finite-state protocols run on ``array``;
-  ``ElectLeader_r`` experiments fail fast under it by design, so set it
-  per-invocation, not globally.  ``bench_array_backend.py`` compares
-  both engines explicitly regardless of this knob.
+* ``REPRO_BENCH_BACKEND`` — default execution engine (any registered
+  backend: ``object`` / ``array`` / ``counts``) for every
+  ``run_trials``/``run_until`` call that does not pin one explicitly.
+  Only finite-state protocols run on the vectorized engines;
+  ``ElectLeader_r`` experiments fail fast under them by design, so set
+  it per-invocation, not globally.  ``bench_array_backend.py`` and
+  ``bench_counts_backend.py`` compare engines explicitly regardless of
+  this knob.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 from typing import Sequence, TypeVar
@@ -44,6 +47,31 @@ import pytest
 from repro.sim.trials import format_table
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def update_perf_summary(experiment: str, payload: dict) -> None:
+    """Merge one experiment's summary into ``results/perf-summary.json``.
+
+    The file is a dict keyed by experiment name so each perf gate (the
+    array backend's E18, the counts backend's E20, future ones) owns a
+    slice without clobbering the others — CI uploads the whole file as
+    one artifact.  A pre-merge single-experiment file is migrated under
+    its ``experiment`` key; an unreadable file is rebuilt.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "perf-summary.json"
+    data: dict = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+        except ValueError:
+            loaded = None
+        if isinstance(loaded, dict):
+            data = loaded
+    if "experiment" in data:  # legacy single-experiment layout
+        data = {str(data["experiment"]): data}
+    data[experiment] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 #: Worker processes for run_trials fan-out (0/unset = one per CPU).
 WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) or None

@@ -29,6 +29,15 @@ Adversary              Targets
 All generators draw from an explicit RNG and produce *well-formed* states
 (states within the protocol's state space, as the model requires — the
 adversary corrupts values, not the data layout).
+
+A second, vectorized suite (``CODE_ADVERSARIES``: ``scramble``,
+``plant_minority``) targets *finite-state* protocols through their integer
+state encoding: batched numpy draws emit state-code arrays and count
+vectors, so array- and counts-backend sweeps can start from adversarial
+configurations without materializing ``n`` state objects.  Any code in
+``range(num_states())`` decodes to a well-formed state (the encoding is a
+bijection), so uniform code draws are exactly the model's "arbitrary
+configuration in ``Q^n``".
 """
 
 from __future__ import annotations
@@ -313,6 +322,129 @@ def single_agent_scrambler(protocol: ElectLeader):
         return random_agent(protocol, rng)
 
     return corrupt
+
+
+# ---------------------------------------------------------------------------
+# Vectorized finite-state initializers (state-code arrays / count vectors)
+# ---------------------------------------------------------------------------
+#
+# The adversaries above speak ``ElectLeader``'s state layout; finite-state
+# protocols (the array/counts backends' clientele) get their adversarial
+# starts from the encoded state space instead.  Each initializer comes in
+# two shapes sharing one law:
+#
+# * ``*_codes``  — an ``(n,)`` int64 state-code array (the array backend's
+#   native configuration; the object backend decodes it);
+# * ``*_counts`` — an ``(S,)`` int64 count vector (the counts backend's
+#   native configuration), distributed identically to ``bincount`` of the
+#   codes variant.
+#
+# Both draw from a caller-supplied ``numpy.random.Generator`` (use
+# :func:`code_rng` to build one from a derived seed) so adversarial sweeps
+# stay pure functions of their spec seed — and, given one seed, every
+# backend starts from the same configuration law.  numpy is imported
+# lazily: the object-only runtime keeps working without it.
+
+
+def code_rng(seed: int):
+    """A PCG64 generator for the vectorized initializers."""
+    try:
+        import numpy
+    except ImportError:
+        raise RuntimeError(
+            "code-space adversaries require numpy; install it with "
+            "'pip install repro-podc25-leader-election[array]' or use the "
+            "object-layout adversary suite"
+        ) from None
+    return numpy.random.Generator(numpy.random.PCG64(seed))
+
+
+def _encoding_size(protocol) -> int:
+    size = protocol.num_states()
+    if size is None:
+        raise ValueError(
+            f"protocol '{protocol.name}' has no finite state encoding; "
+            "code-space adversaries need num_states()"
+        )
+    return size
+
+
+def _plant_count(n: int) -> int:
+    """Default corruption budget of the planting adversary: ⌈n/8⌉.
+
+    Mirrors ``duplicate_ranks``'s ``n // 8`` convention — enough damage
+    to matter, small enough that recovery is measurably different from
+    the full scramble.
+    """
+    return max(1, -(-n // 8))
+
+
+def scrambled_codes(protocol, generator, n: int):
+    """Uniform over the full encoded space ``Q^n`` — the generic
+    adversarial start (the finite-state analogue of ``random_soup``)."""
+    import numpy
+
+    size = _encoding_size(protocol)
+    return generator.integers(0, size, size=n, dtype=numpy.int64)
+
+
+def scrambled_counts(protocol, generator, n: int):
+    """Count-vector twin of :func:`scrambled_codes` (multinomial law)."""
+    import numpy
+
+    size = _encoding_size(protocol)
+    pvals = numpy.full(size, 1.0 / size)
+    return generator.multinomial(n, pvals).astype(numpy.int64)
+
+
+def planted_codes(protocol, generator, n: int, planted: int | None = None):
+    """A clean start with ``planted`` agents overwritten by uniform codes.
+
+    The limited-corruption adversary class: positions are chosen uniformly
+    without replacement, so recovery experiments see the damage scattered
+    rather than clustered.  ``planted`` defaults to ⌈n/8⌉.
+    """
+    import numpy
+
+    size = _encoding_size(protocol)
+    count = _plant_count(n) if planted is None else planted
+    if not 1 <= count <= n:
+        raise ValueError(f"need 1 <= planted <= n, got {count}, n={n}")
+    codes = numpy.full(n, int(protocol.encode_state(protocol.initial_state())),
+                       dtype=numpy.int64)
+    positions = generator.permutation(n)[:count]
+    codes[positions] = generator.integers(0, size, size=count, dtype=numpy.int64)
+    return codes
+
+
+def planted_counts(protocol, generator, n: int, planted: int | None = None):
+    """Count-vector twin of :func:`planted_codes`.
+
+    Positions carry no information in count space, so the law reduces to
+    ``n - planted`` agents on the clean code plus a uniform multinomial
+    over the ``planted`` corrupted ones — identically distributed to
+    ``bincount(planted_codes(...))``.
+    """
+    import numpy
+
+    size = _encoding_size(protocol)
+    count = _plant_count(n) if planted is None else planted
+    if not 1 <= count <= n:
+        raise ValueError(f"need 1 <= planted <= n, got {count}, n={n}")
+    counts = numpy.zeros(size, dtype=numpy.int64)
+    counts[int(protocol.encode_state(protocol.initial_state()))] = n - count
+    pvals = numpy.full(size, 1.0 / size)
+    counts += generator.multinomial(count, pvals).astype(numpy.int64)
+    return counts
+
+
+#: Code-space adversary suite for finite-state protocols: each entry maps
+#: ``(protocol, numpy_generator, n)`` to an ``(n,)`` state-code array that
+#: any execution backend can start from (see ``make_simulation(codes=)``).
+CODE_ADVERSARIES: dict[str, Callable] = {
+    "scramble": scrambled_codes,
+    "plant_minority": planted_codes,
+}
 
 
 #: Named adversary suite used by the recovery experiment (E4).

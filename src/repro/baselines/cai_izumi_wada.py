@@ -96,3 +96,12 @@ class CaiIzumiWada(RankingProtocol):
         """Silent iff all ranks distinct (= correct, since |config| = n)."""
         ranks = [s.rank for s in config]
         return len(set(ranks)) == len(ranks)
+
+    def goal_counts(self, counts) -> bool:
+        """Counts form (counts backend): no rank held by two agents.
+
+        With ``S = n`` codes and ``counts.sum() = n`` agents, "no count
+        exceeds 1" is exactly "every rank held once" — the permutation
+        (= silent = goal) configuration.
+        """
+        return int(counts.max()) <= 1

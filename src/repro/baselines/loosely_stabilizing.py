@@ -131,6 +131,10 @@ class LooselyStabilizingLeaderElection(PopulationProtocol):
         block = self.timer_max + 1
         return LooseState(leader=bool(code // block), timer=code % block)
 
+    def goal_counts(self, counts) -> bool:
+        """Counts form (counts backend): one agent in the leader-major block."""
+        return int(counts[self.timer_max + 1:].sum()) == 1
+
     # ------------------------------------------------------------------
 
     def holding_time(self, config: list[LooseState], rng: RNG, budget: int) -> int:

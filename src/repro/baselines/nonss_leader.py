@@ -65,3 +65,7 @@ class PairwiseElimination(PopulationProtocol):
 
     def is_goal_configuration(self, config: Sequence[LeaderBitState]) -> bool:
         return self.leader_count(config) == 1
+
+    def goal_counts(self, counts) -> bool:
+        """Counts form (counts backend): exactly one agent in the L state."""
+        return int(counts[1]) == 1

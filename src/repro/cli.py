@@ -14,9 +14,11 @@ and ``sweep`` under ``--workers N``: trials fan out over a process pool
 but each trial's randomness comes from its own derived seed, so worker
 count never changes the numbers.  ``--batch`` sets the convergence-check
 interval, which is also the batch size of the simulator's fast path.
-``sweep --backend array`` routes finite-state protocols through the
-vectorized numpy engine (default: ``$REPRO_BENCH_BACKEND``, else the
-object engine); see README "Execution backends".
+``sweep --backend`` selects an execution engine from the backend registry
+(:mod:`repro.sim.backends`): ``array`` (vectorized per-agent state codes)
+or ``counts`` (count-vector aggregate) for finite-state protocols, else
+the default ``object`` engine (or ``$REPRO_BENCH_BACKEND``); see README
+"Execution backends".
 """
 
 from __future__ import annotations
@@ -25,13 +27,14 @@ import argparse
 import sys
 from typing import Callable, Optional, Sequence
 
-from repro.adversary.initializers import ADVERSARIES
+from repro.adversary.initializers import ADVERSARIES, CODE_ADVERSARIES
 from repro.analysis.statespace import comparison_table, elect_leader_bits
 from repro.analysis.theory import predicted_stabilization_interactions
 from repro.core.elect_leader import ElectLeader
 from repro.core.params import ProtocolParams
 from repro.scheduler.rng import make_rng
-from repro.sim.simulation import BACKENDS, Simulation, resolve_backend
+from repro.sim.backends import BACKEND_OBJECT, backend_names, resolve_backend
+from repro.sim.simulation import Simulation
 from repro.sim.sweep import CLEAN, PROTOCOLS, GridSpec, SweepError, run_sweep
 from repro.sim.trials import format_table, run_trials
 
@@ -130,18 +133,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="trade-off parameters (each >= 1; cells with r > n/2 are skipped)",
     )
     sweep.add_argument(
-        "--adversaries", nargs="+", choices=[CLEAN, *sorted(ADVERSARIES)],
-        default=[CLEAN], help="initializer axis ('clean' = protocol's own start)",
+        "--adversaries", nargs="+",
+        choices=[CLEAN, *sorted(ADVERSARIES), *sorted(CODE_ADVERSARIES)],
+        default=[CLEAN],
+        help="initializer axis ('clean' = protocol's own start; 'scramble'/"
+        "'plant_minority' = code-space adversaries for finite-state protocols)",
     )
     sweep.add_argument(
         "--fault-rates", nargs="+", type=_fault_rate, default=[0.0], metavar="RATE",
         help="fault bursts per unit of parallel time (0 = no injection)",
     )
     sweep.add_argument(
-        "--backend", choices=BACKENDS, default=None,
-        help="execution engine: 'object' (per-interaction) or 'array' "
-        "(vectorized transition tables; finite-state protocols only). "
-        "Default: $REPRO_BENCH_BACKEND, else 'object'.",
+        "--backend", choices=backend_names(), default=None,
+        help="execution engine (from the backend registry): 'object' = "
+        "per-interaction, 'array' = vectorized per-agent state codes, "
+        "'counts' = count-vector aggregate (both vectorized engines are "
+        "finite-state only). Default: $REPRO_BENCH_BACKEND, else 'object'.",
     )
     sweep.add_argument("--trials", type=_positive_int, default=5, help="trials per cell")
     sweep.add_argument("--seed", type=int, default=0)
@@ -243,7 +250,7 @@ def cmd_tradeoff(args: argparse.Namespace) -> int:
             # ElectLeader has no finite state encoding, so this command is
             # object-engine only; pinning it keeps a stray
             # $REPRO_BENCH_BACKEND from turning the sweep into a traceback.
-            backend="object",
+            backend=BACKEND_OBJECT,
         )
         rows.append(
             {

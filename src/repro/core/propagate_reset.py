@@ -177,6 +177,10 @@ class ResetEpidemicProtocol(PopulationProtocol):
         """The reset completed: every agent is awake again."""
         return all(s.role is not Role.RESETTING for s in config)
 
+    def goal_counts(self, counts) -> bool:
+        """Counts form (counts backend): every agent in the awake code 0."""
+        return int(counts[0]) == int(counts.sum())
+
     # ------------------------------------------------------------------
     # Finite-state encoding (array backend): code 0 is the awake agent;
     # resetters occupy a dense (reset_count, delay_timer) grid above it.

@@ -118,6 +118,27 @@ class PopulationProtocol(abc.ABC):
 
         return build_transition_table(self)
 
+    def goal_counts(self, counts) -> bool:
+        """:meth:`is_goal_configuration` evaluated on a state-code count vector.
+
+        ``counts`` is the counts backend's representation: an ``S``-length
+        integer vector where ``counts[code]`` is the number of agents in
+        the state ``decode_state(code)``.  Every predicate in this
+        repository is symmetric in the agents (configurations are
+        multisets semantically), so a counts form always exists.
+
+        Default: expand the counts to a configuration list — *sharing*
+        one decoded object per occupied code, which is safe because
+        predicates only read — and delegate.  That is ``O(n)`` per call;
+        finite-state protocols override this with ``O(S)`` aggregate
+        forms (``counts[marked] == n``, permutation checks over rank
+        counts, ...), which is what makes convergence detection at
+        ``n ≥ 10⁶`` affordable on the counts backend.
+        """
+        from repro.sim.counts_backend import configuration_from_counts
+
+        return self.is_goal_configuration(configuration_from_counts(self, counts))
+
     # ------------------------------------------------------------------
 
     def clean_configuration(self, n: int) -> list[Any]:

@@ -151,6 +151,64 @@ class ArrayScheduler:
         return np.concatenate(parts_i), np.concatenate(parts_j)
 
 
+class CollisionRunSampler:
+    """Samples lengths of collision-free interaction *runs* (counts backend).
+
+    The count-vector engine (:mod:`repro.sim.counts_backend`) applies
+    interactions in aggregated batches, which is only sound while every
+    interaction in the batch touches *distinct* agents — the moment an
+    agent interacts twice, its second interaction must read the state its
+    first one wrote.  Under the uniform pairwise scheduler the number of
+    interactions until that first repeat is a pure function of ``n``
+    (agent draws are state-independent), with the birthday-problem law::
+
+        P(first t interactions collision-free)
+            = Π_{s<t} (n-2s)(n-2s-1) / (n(n-1))
+
+    so runs are Θ(√n) long in expectation.  This sampler precomputes that
+    survival curve once per population size and draws run lengths by
+    inverse transform (one uniform + one ``searchsorted``), from whatever
+    ``numpy`` generator the caller owns — the counts engine passes its own
+    PCG64 stream so a counts run stays a pure function of its seed.
+
+    ``next_run_length()`` is always ≥ 1 (a single interaction's two agents
+    are distinct by construction) and never exceeds ``n // 2`` (after that
+    many interactions every agent has been used).
+    """
+
+    def __init__(self, n: int, generator):
+        if n < 2:
+            raise ValueError(f"need at least two agents to interact, got n={n}")
+        import numpy  # deferred: the object backend must not require numpy
+
+        self.n = n
+        self._np = numpy
+        self._generator = generator
+        # Tabulate until the survival probability is negligible (or the
+        # hard n//2 exhaustion bound).  6·√n stretches ~9 standard
+        # deviations past the mean run length; beyond it survival < 1e-30.
+        limit = min(n // 2, int(6 * numpy.sqrt(n)) + 8)
+        s = numpy.arange(limit, dtype=numpy.float64)
+        with numpy.errstate(divide="ignore"):
+            terms = (
+                numpy.log(numpy.maximum(n - 2 * s, 0))
+                + numpy.log(numpy.maximum(n - 2 * s - 1, 0))
+                - numpy.log(n)
+                - numpy.log(n - 1)
+            )
+        #: survival[t-1] = P(run length >= t), a non-increasing curve.
+        self.survival = numpy.exp(numpy.cumsum(terms))
+        self._neg_survival = -self.survival
+
+    def next_run_length(self) -> int:
+        """Draw one run length: max t with ``P(run >= t) > u``, u ~ U(0,1)."""
+        u = self._generator.random()
+        # survival is non-increasing, so count entries > u via a single
+        # searchsorted on its negation (which is non-decreasing).
+        length = int(self._np.searchsorted(self._neg_survival, -u, side="right"))
+        return max(1, length)
+
+
 class RecordedSchedule:
     """A fixed, replayable sequence of interaction pairs.
 

@@ -28,15 +28,41 @@ from repro.sim.array_backend import (
     replay_array,
     transition_table_for,
 )
+from repro.sim.backends import (
+    Backend,
+    backend_names,
+    get_backend,
+    register_backend,
+    supports_backend,
+)
+from repro.sim.counts_backend import (
+    CountsAwarePredicate,
+    CountsBackendError,
+    CountsSimulation,
+    apply_pair_counts,
+    configuration_from_counts,
+    counts_aware,
+    counts_from_codes,
+    counts_from_configuration,
+    goal_counts_predicate,
+)
 from repro.sim.replay import replay, record_and_replay_matches
 from repro.sim.simulation import (
-    BACKENDS,
     Simulation,
     SimulationResult,
     make_simulation,
     resolve_backend,
     run_until,
 )
+
+
+def __getattr__(name: str):
+    # Live view of the registered engine names (legacy static-tuple
+    # import): evaluated per access so backends registered after this
+    # package was imported still show up.
+    if name == "BACKENDS":
+        return backend_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 from repro.sim.sweep import (
     GridSpec,
     ScenarioOutcome,
@@ -59,6 +85,20 @@ __all__ = [
     "make_simulation",
     "resolve_backend",
     "BACKENDS",
+    "Backend",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "supports_backend",
+    "CountsAwarePredicate",
+    "CountsBackendError",
+    "CountsSimulation",
+    "apply_pair_counts",
+    "configuration_from_counts",
+    "counts_aware",
+    "counts_from_codes",
+    "counts_from_configuration",
+    "goal_counts_predicate",
     "ArrayBackendError",
     "ArraySimulation",
     "TransitionTable",

@@ -88,8 +88,9 @@ def require_numpy():
     """Return the numpy module, or raise a clear error if it is absent."""
     if _np is None:
         raise ArrayBackendError(
-            "the array backend requires numpy; install it with "
-            "'pip install repro-podc25-leader-election[array]' or use backend='object'"
+            "the vectorized (array/counts) backends require numpy; install it "
+            "with 'pip install repro-podc25-leader-election[array]' or use "
+            "backend='object'"
         )
     return _np
 
@@ -421,15 +422,24 @@ class ArraySimulation:
         n: Optional[int] = None,
         seed: int = 0,
         block_size: Optional[int] = None,
+        codes: Optional[Sequence[int]] = None,
     ):
         np = require_numpy()
         self.protocol = protocol
         self.table = transition_table_for(protocol)
-        if config is None:
+        if codes is not None:
+            if config is not None:
+                raise ValueError("provide at most one of config= and codes=")
+            # The engine's native currency — adversarial initializers hand
+            # state-code arrays straight through without a decode/encode
+            # round trip.  Copied: the caller keeps ownership of its array.
+            self.codes = np.asarray(codes, dtype=np.int64).copy()
+        elif config is None:
             if n is None:
                 raise ValueError("provide either an initial config or a population size n")
-            config = protocol.clean_configuration(n)
-        self.codes = encode_configuration(protocol, config)
+            self.codes = encode_configuration(protocol, protocol.clean_configuration(n))
+        else:
+            self.codes = encode_configuration(protocol, config)
         self.n = int(self.codes.shape[0])
         if self.n < 2:
             raise ValueError("population must have at least two agents")

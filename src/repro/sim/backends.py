@@ -1,0 +1,267 @@
+"""The execution-backend registry — one place that knows every engine.
+
+Three engines run ``Simulation``-shaped workloads today:
+
+* ``object`` — the per-interaction reference engine
+  (:class:`repro.sim.simulation.Simulation`): state objects, Python
+  dispatch, observers, fault injection.  Runs every protocol.
+* ``array``  — the vectorized per-agent engine
+  (:class:`repro.sim.array_backend.ArraySimulation`): ``int64`` state
+  codes per agent, dense transition tables, block pair application.
+  Finite-state protocols only.
+* ``counts`` — the count-vector engine
+  (:class:`repro.sim.counts_backend.CountsSimulation`): the whole
+  population is an ``S``-length count vector; interactions are sampled in
+  law-exact collision-free runs and applied as aggregate count deltas.
+  Finite-state protocols only, and the engine of choice once only
+  aggregate statistics matter (n ≥ 10⁶ stabilization curves).
+
+Every dispatch site in the repository — :func:`make_simulation`,
+:func:`repro.sim.simulation.run_until`, :func:`repro.sim.trials
+.run_trials`, :class:`repro.sim.sweep.GridSpec`, the ``repro sweep
+--backend`` CLI choices — derives from this registry; none of them name a
+backend in an ``if``/``elif`` chain.  Adding a fourth engine is therefore
+one new module that calls :func:`register_backend` (plus its
+registration line below), and every entry point picks it up.
+
+**The registry contract.**  A :class:`Backend` bundles:
+
+* ``name`` — the string users pass as ``backend=`` / ``--backend``;
+* ``factory(protocol, *, config, n, seed, codes)`` — builds a simulation
+  exposing the common engine surface (``run`` / ``run_batch`` /
+  ``run_until`` / ``metrics`` / ``config`` / ``n``).  ``codes`` is an
+  optional encoded initial configuration (a sequence of state codes, the
+  common currency of the vectorized adversary initializers); factories
+  translate it to their native representation;
+* ``supports(protocol)`` — ``None`` when the engine can run the protocol,
+  else a human-readable reason (used by :class:`~repro.sim.sweep
+  .GridSpec` validation and by callers that want to fail before spawning
+  workers).  ``supports`` is a cheap *capability* check — engines may
+  still raise at construction time for resource-level problems it cannot
+  see (e.g. a transition table that only blows the size cap at the
+  sweep's largest ``n``);
+* ``description`` — one line for ``--help`` and error messages.
+
+**Resolution happens once.**  :func:`resolve_backend` applies the
+``None`` → ``$REPRO_BENCH_BACKEND`` → ``object`` defaulting rule and is
+called once, at the outermost entry point (``run_trials``, the sweep
+CLI).  Everything downstream carries the resolved name and uses
+:func:`get_backend` — a pure dictionary lookup that never consults the
+environment — so worker processes can never disagree with their parent
+about which engine runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.protocol import PopulationProtocol
+
+#: Environment variable naming the default backend (see resolve_backend).
+BACKEND_ENV = "REPRO_BENCH_BACKEND"
+
+#: Canonical backend names.  These are ordinary registry keys — nothing
+#: dispatches on them — kept as constants so call sites that *pin* an
+#: engine (e.g. the object-only ``tradeoff`` CLI command) spell it
+#: consistently.
+BACKEND_OBJECT = "object"
+BACKEND_ARRAY = "array"
+BACKEND_COUNTS = "counts"
+
+#: The engine used when neither the caller nor the environment names one.
+DEFAULT_BACKEND = BACKEND_OBJECT
+
+#: Factory signature: ``factory(protocol, config=, n=, seed=, codes=)``.
+SimulationFactory = Callable[..., Any]
+
+#: Capability check: ``None`` = supported, else the reason it is not.
+SupportsCheck = Callable[[PopulationProtocol], Optional[str]]
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One registered execution engine (see the module docstring)."""
+
+    name: str
+    factory: SimulationFactory
+    supports: SupportsCheck
+    description: str = ""
+
+    def require(self, protocol: PopulationProtocol) -> None:
+        """Raise ``ValueError`` unless this engine can run ``protocol``."""
+        reason = self.supports(protocol)
+        if reason is not None:
+            raise ValueError(
+                f"protocol '{protocol.name}' cannot run on the "
+                f"'{self.name}' backend: {reason}"
+            )
+
+
+#: Name → Backend, in registration order (object first, so iteration and
+#: therefore CLI choices list the default engine first).
+_REGISTRY: dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend, *, replace: bool = False) -> Backend:
+    """Add an engine to the registry (the one-file-change extension point).
+
+    Registering a name twice is an error unless ``replace=True`` —
+    accidental shadowing of a built-in engine should be loud.
+    """
+    if not backend.name or not backend.name.isidentifier():
+        raise ValueError(f"backend name must be a simple identifier, got {backend.name!r}")
+    if backend.name in _REGISTRY and not replace:
+        raise ValueError(f"backend '{backend.name}' is already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def backend_names() -> tuple[str, ...]:
+    """All registered engine names, default engine first."""
+    return tuple(_REGISTRY)
+
+
+def get_backend(name: str) -> Backend:
+    """Pure lookup of a *resolved* backend name (never reads the env)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(backend_names())
+        raise ValueError(f"unknown backend '{name}' (known: {known})") from None
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Normalize a backend request: ``None`` → ``$REPRO_BENCH_BACKEND`` → default.
+
+    The environment variable gives benchmarks and the CLI a process-wide
+    default without threading a flag through every call site; an explicit
+    ``backend=`` argument always wins.  Call this once at the entry point
+    and pass the resolved name down (:func:`get_backend` from there on).
+    """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV, "") or DEFAULT_BACKEND
+    return get_backend(backend).name
+
+
+def supports_backend(protocol: PopulationProtocol, backend: str) -> Optional[str]:
+    """``None`` if ``backend`` can run ``protocol``, else the reason not."""
+    return get_backend(backend).supports(protocol)
+
+
+def make_simulation(
+    protocol: PopulationProtocol,
+    *,
+    config: Optional[list[Any]] = None,
+    n: Optional[int] = None,
+    seed: int = 0,
+    backend: Optional[str] = None,
+    codes: Optional[Sequence[int]] = None,
+):
+    """Build a simulation on the requested execution backend.
+
+    Exactly one of ``config`` (state objects), ``codes`` (encoded state
+    codes) or ``n`` (clean start) describes the initial configuration.
+    ``backend=None`` resolves the environment default; a non-``None``
+    name is treated as already resolved and looked up directly.
+    """
+    if config is not None and codes is not None:
+        raise ValueError("provide at most one of config= and codes=")
+    entry = get_backend(backend if backend is not None else resolve_backend(None))
+    return entry.factory(protocol, config=config, n=n, seed=seed, codes=codes)
+
+
+# ---------------------------------------------------------------------------
+# Built-in engine registrations
+# ---------------------------------------------------------------------------
+#
+# Factories import their engine modules lazily: the object engine must
+# stay importable without numpy, and the vectorized engines already
+# import-guard numpy themselves and raise a clear error at use time.
+
+
+def _decode_codes(protocol: PopulationProtocol, codes: Sequence[int]) -> list[Any]:
+    """Decode a state-code sequence to fresh state objects (numpy-free).
+
+    Range-checked against ``num_states()`` so invalid codes fail loudly
+    here exactly as they do on the vectorized engines — the reference
+    engine must not silently run what the others reject.
+    """
+    size = protocol.num_states()
+    decode = protocol.decode_state
+    config = []
+    for code in codes:
+        code = int(code)
+        if size is not None and not 0 <= code < size:
+            raise ValueError(f"state code {code} outside range({size})")
+        config.append(decode(code))
+    return config
+
+
+def _object_factory(protocol, *, config=None, n=None, seed=0, codes=None):
+    from repro.sim.simulation import Simulation
+
+    if codes is not None:
+        config = _decode_codes(protocol, codes)
+    return Simulation(protocol, config=config, n=n, seed=seed)
+
+
+def _object_supports(protocol: PopulationProtocol) -> Optional[str]:
+    return None  # the reference engine runs everything
+
+
+def _finite_state_supports(protocol: PopulationProtocol) -> Optional[str]:
+    """Shared capability check of the table-driven engines."""
+    from repro.sim.array_backend import MAX_TABLE_ENTRIES
+
+    size = protocol.num_states()
+    if size is None:
+        return (
+            "it has no finite state encoding (num_states() is None); "
+            f"use backend='{BACKEND_OBJECT}'"
+        )
+    if size * size > MAX_TABLE_ENTRIES:
+        return (
+            f"its {size}x{size} transition table exceeds the "
+            f"{MAX_TABLE_ENTRIES}-entry cap"
+        )
+    return None
+
+
+def _array_factory(protocol, *, config=None, n=None, seed=0, codes=None):
+    from repro.sim.array_backend import ArraySimulation
+
+    return ArraySimulation(protocol, config=config, n=n, seed=seed, codes=codes)
+
+
+def _counts_factory(protocol, *, config=None, n=None, seed=0, codes=None):
+    from repro.sim.counts_backend import CountsSimulation
+
+    return CountsSimulation(protocol, config=config, n=n, seed=seed, codes=codes)
+
+
+register_backend(
+    Backend(
+        name=BACKEND_OBJECT,
+        factory=_object_factory,
+        supports=_object_supports,
+        description="per-interaction state objects (every protocol; observers, faults)",
+    )
+)
+register_backend(
+    Backend(
+        name=BACKEND_ARRAY,
+        factory=_array_factory,
+        supports=_finite_state_supports,
+        description="vectorized per-agent state-code array (finite-state protocols)",
+    )
+)
+register_backend(
+    Backend(
+        name=BACKEND_COUNTS,
+        factory=_counts_factory,
+        supports=_finite_state_supports,
+        description="count-vector over state codes (finite-state protocols, aggregate statistics)",
+    )
+)

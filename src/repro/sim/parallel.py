@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, TypeVar
 
 from repro.core.protocol import PopulationProtocol
+from repro.sim.backends import DEFAULT_BACKEND
 from repro.sim.simulation import ConfigPredicate, run_until
 
 
@@ -49,10 +50,14 @@ from repro.sim.simulation import ConfigPredicate, run_until
 class TrialSpec:
     """One fully-determined trial, picklable for process fan-out.
 
-    ``backend`` names the execution engine (``"object"`` or ``"array"``,
-    see :func:`repro.sim.simulation.resolve_backend`); it is resolved in
-    the parent so every worker process runs the same engine regardless of
-    its own environment.
+    ``backend`` names a registered execution engine, *already resolved*
+    by the parent (:func:`repro.sim.backends.resolve_backend`): workers
+    do a pure registry lookup and never consult their own environment,
+    so every process runs the same engine.
+
+    The start configuration is (at most) one of ``config`` (state
+    objects), ``codes`` (encoded state codes — the cheap currency for
+    finite-state protocols at large ``n``) or ``n`` (clean start).
     """
 
     index: int
@@ -63,7 +68,8 @@ class TrialSpec:
     check_interval: int = 1
     config: Optional[list[Any]] = None
     n: Optional[int] = None
-    backend: str = "object"
+    backend: str = DEFAULT_BACKEND
+    codes: Optional[Sequence[int]] = None
 
 
 @dataclass
@@ -87,6 +93,7 @@ def run_trial(spec: TrialSpec) -> TrialOutcome:
         max_interactions=spec.max_interactions,
         check_interval=spec.check_interval,
         backend=spec.backend,
+        codes=spec.codes,
     )
     return TrialOutcome(
         index=spec.index,

@@ -14,22 +14,21 @@ transition-function sampling, through two independent derived streams.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
 from repro.core.protocol import PopulationProtocol
 from repro.scheduler.rng import RNG, derive_seed, make_rng
 from repro.scheduler.scheduler import RandomScheduler
+
+# Legacy aliases: the canonical constants live in the backend registry
+# (cycle-free import — backends only needs core.protocol at module level).
+from repro.sim.backends import (  # noqa: F401
+    BACKEND_ARRAY,
+    BACKEND_ENV,
+    BACKEND_OBJECT,
+)
 from repro.sim.metrics import Metrics
-
-#: The two execution backends ``Simulation``-shaped runs can use.
-BACKEND_OBJECT = "object"
-BACKEND_ARRAY = "array"
-BACKENDS = (BACKEND_OBJECT, BACKEND_ARRAY)
-
-#: Environment variable naming the default backend (see resolve_backend).
-BACKEND_ENV = "REPRO_BENCH_BACKEND"
 
 #: A predicate over the full configuration.
 ConfigPredicate = Callable[[Sequence[Any]], bool]
@@ -154,18 +153,10 @@ class Simulation:
 
 
 def resolve_backend(backend: Optional[str]) -> str:
-    """Normalize a backend request: ``None`` → ``$REPRO_BENCH_BACKEND`` → object.
+    """Normalize a backend request (see :func:`repro.sim.backends.resolve_backend`)."""
+    from repro.sim import backends
 
-    The environment variable gives benchmarks and the CLI a process-wide
-    default without threading a flag through every call site; an explicit
-    ``backend=`` argument always wins.
-    """
-    if backend is None:
-        backend = os.environ.get(BACKEND_ENV, "") or BACKEND_OBJECT
-    if backend not in BACKENDS:
-        known = ", ".join(BACKENDS)
-        raise ValueError(f"unknown backend '{backend}' (known: {known})")
-    return backend
+    return backends.resolve_backend(backend)
 
 
 def make_simulation(
@@ -175,20 +166,20 @@ def make_simulation(
     n: Optional[int] = None,
     seed: int = 0,
     backend: Optional[str] = None,
+    codes: Optional[Sequence[int]] = None,
 ):
     """Build a simulation on the requested execution backend.
 
-    ``backend="object"`` returns the per-interaction :class:`Simulation`;
-    ``backend="array"`` returns the vectorized table-backed engine
-    (:class:`repro.sim.array_backend.ArraySimulation`), which requires the
-    protocol to expose a finite state encoding.  Both expose ``run`` /
-    ``run_batch`` / ``run_until`` / ``metrics`` / ``config``.
+    Thin delegate of :func:`repro.sim.backends.make_simulation`: the
+    engine is looked up in the backend registry and its factory builds
+    the simulation.  Every engine exposes ``run`` / ``run_batch`` /
+    ``run_until`` / ``metrics`` / ``config``.
     """
-    if resolve_backend(backend) == BACKEND_ARRAY:
-        from repro.sim.array_backend import ArraySimulation
+    from repro.sim import backends
 
-        return ArraySimulation(protocol, config=config, n=n, seed=seed)
-    return Simulation(protocol, config=config, n=n, seed=seed)
+    return backends.make_simulation(
+        protocol, config=config, n=n, seed=seed, backend=backend, codes=codes
+    )
 
 
 def run_until(
@@ -201,7 +192,19 @@ def run_until(
     max_interactions: int,
     check_interval: int = 1,
     backend: Optional[str] = None,
+    codes: Optional[Sequence[int]] = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :func:`make_simulation`."""
-    sim = make_simulation(protocol, config=config, n=n, seed=seed, backend=backend)
+    sim = make_simulation(
+        protocol, config=config, n=n, seed=seed, backend=backend, codes=codes
+    )
     return sim.run_until(predicate, max_interactions, check_interval)
+
+
+def __getattr__(name: str):
+    # Legacy alias: the static BACKENDS tuple became the live registry.
+    if name == "BACKENDS":
+        from repro.sim import backends
+
+        return backends.backend_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

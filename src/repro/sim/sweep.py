@@ -34,13 +34,19 @@ resume guarantee (and CI's ``cmp`` gate) possible.
 
 from __future__ import annotations
 
+import importlib.util
 import itertools
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Callable, Optional, Sequence
 
-from repro.adversary.initializers import ADVERSARIES, single_agent_scrambler
+from repro.adversary.initializers import (
+    ADVERSARIES,
+    CODE_ADVERSARIES,
+    code_rng,
+    single_agent_scrambler,
+)
 from repro.baselines.cai_izumi_wada import CaiIzumiWada
 from repro.baselines.loosely_stabilizing import LooselyStabilizingLeaderElection
 from repro.baselines.nonss_leader import PairwiseElimination
@@ -48,14 +54,11 @@ from repro.core.elect_leader import ElectLeader
 from repro.core.params import BaselineParams, ProtocolParams
 from repro.core.protocol import PopulationProtocol
 from repro.scheduler.rng import derive_seed, make_rng
+from repro.sim.backends import DEFAULT_BACKEND, get_backend, make_simulation
+from repro.sim.counts_backend import counts_aware, goal_counts_predicate
 from repro.sim.faults import FaultInjector
 from repro.sim.parallel import stream_ordered
-from repro.sim.simulation import (
-    BACKENDS,
-    BACKEND_OBJECT,
-    ConfigPredicate,
-    make_simulation,
-)
+from repro.sim.simulation import ConfigPredicate
 from repro.sim.trials import TrialSummary
 
 #: Adversary name meaning "clean start" (protocol's own initial states).
@@ -81,6 +84,14 @@ class SweepError(RuntimeError):
     """A sweep could not be started or resumed (bad grid, bad checkpoint)."""
 
 
+def _numpy_available() -> bool:
+    """Whether the code-space adversaries' numpy dependency is importable."""
+    try:
+        return importlib.util.find_spec("numpy") is not None
+    except ImportError:  # pragma: no cover - exotic import hooks
+        return False
+
+
 # ---------------------------------------------------------------------------
 # Protocol registry
 # ---------------------------------------------------------------------------
@@ -91,14 +102,18 @@ class ProtocolKind:
     """One entry of the sweep's protocol axis.
 
     ``build(n, r)`` returns the protocol instance and its convergence
-    predicate.  ``uses_r`` protocols sweep the full ``r`` axis (cells with
-    ``r > n/2`` are skipped, mirroring :class:`ProtocolParams`); the rest
-    collapse it to a single cell recorded with ``r = 0``.  Adversary
+    predicate (counts-aware where the protocol has a counts form, so the
+    counts backend checks convergence in ``O(S)``).  ``uses_r`` protocols
+    sweep the full ``r`` axis (cells with ``r > n/2`` are skipped,
+    mirroring :class:`ProtocolParams`); the rest collapse it to a single
+    cell recorded with ``r = 0``.  The object-layout adversary
     initializers and fault injection scramble ``ElectLeader`` state
-    layouts specifically, so only ``elect_leader`` supports them.
-    ``supports_array`` marks protocols with a finite state encoding that
-    can run on the vectorized array backend — ``elect_leader`` cannot
-    (``2^{Θ(r² log n)}`` states admit no transition table).
+    layouts specifically, so only ``elect_leader`` supports them;
+    ``finite_state`` protocols instead support the code-space adversary
+    suite (``CODE_ADVERSARIES``) on every backend.  Which *backends* can
+    run a protocol is not declared here — :class:`GridSpec` asks the
+    backend registry (:func:`repro.sim.backends.get_backend`) via a small
+    probe instance.
     """
 
     name: str
@@ -106,7 +121,7 @@ class ProtocolKind:
     supports_adversaries: bool
     supports_faults: bool
     build: Callable[[int, int], tuple[PopulationProtocol, ConfigPredicate]]
-    supports_array: bool = False
+    finite_state: bool = False
 
 
 def _build_elect_leader(n: int, r: int) -> tuple[PopulationProtocol, ConfigPredicate]:
@@ -116,17 +131,19 @@ def _build_elect_leader(n: int, r: int) -> tuple[PopulationProtocol, ConfigPredi
 
 def _build_pairwise(n: int, r: int) -> tuple[PopulationProtocol, ConfigPredicate]:
     protocol = PairwiseElimination(n)
-    return protocol, protocol.is_goal_configuration
+    return protocol, goal_counts_predicate(protocol)
 
 
 def _build_cai_izumi_wada(n: int, r: int) -> tuple[PopulationProtocol, ConfigPredicate]:
     protocol = CaiIzumiWada(BaselineParams(n=n))
-    return protocol, protocol.is_silent_configuration
+    # goal_counts ("no rank held twice") is exactly the silence predicate
+    # in counts space, so one counts-aware bundle serves every backend.
+    return protocol, counts_aware(protocol.is_silent_configuration, protocol.goal_counts)
 
 
 def _build_loose(n: int, r: int) -> tuple[PopulationProtocol, ConfigPredicate]:
     protocol = LooselyStabilizingLeaderElection(BaselineParams(n=n))
-    return protocol, lambda config: sum(1 for s in config if protocol.output(s)) == 1
+    return protocol, goal_counts_predicate(protocol)
 
 
 PROTOCOLS: dict[str, ProtocolKind] = {
@@ -136,17 +153,32 @@ PROTOCOLS: dict[str, ProtocolKind] = {
     ),
     "pairwise_elimination": ProtocolKind(
         "pairwise_elimination", uses_r=False, supports_adversaries=False,
-        supports_faults=False, build=_build_pairwise, supports_array=True,
+        supports_faults=False, build=_build_pairwise, finite_state=True,
     ),
     "cai_izumi_wada": ProtocolKind(
         "cai_izumi_wada", uses_r=False, supports_adversaries=False,
-        supports_faults=False, build=_build_cai_izumi_wada, supports_array=True,
+        supports_faults=False, build=_build_cai_izumi_wada, finite_state=True,
     ),
     "loosely_stabilizing": ProtocolKind(
         "loosely_stabilizing", uses_r=False, supports_adversaries=False,
-        supports_faults=False, build=_build_loose, supports_array=True,
+        supports_faults=False, build=_build_loose, finite_state=True,
     ),
 }
+
+
+#: Capability-probe instances (one tiny build per protocol kind): backend
+#: support is a property of the protocol *family*, so a small instance
+#: answers for the whole axis.  Resource-level limits that only bite at a
+#: sweep's largest ``n`` (table-size caps) still fail loudly per trial.
+_PROBES: dict[str, PopulationProtocol] = {}
+
+
+def _probe_protocol(kind: ProtocolKind) -> PopulationProtocol:
+    probe = _PROBES.get(kind.name)
+    if probe is None:
+        probe = kind.build(16, 1)[0]
+        _PROBES[kind.name] = probe
+    return probe
 
 
 # ---------------------------------------------------------------------------
@@ -173,26 +205,13 @@ class GridSpec:
     seed: int = 0
     max_interactions: int = 20_000_000
     check_interval: int = 1_000
-    backend: str = BACKEND_OBJECT
+    backend: str = DEFAULT_BACKEND
 
     def __post_init__(self) -> None:
-        if self.backend not in BACKENDS:
-            known = ", ".join(BACKENDS)
-            raise SweepError(f"unknown backend '{self.backend}' (known: {known})")
-        if self.backend != BACKEND_OBJECT:
-            unsupported = [
-                name for name in self.protocols
-                if name in PROTOCOLS and not PROTOCOLS[name].supports_array
-            ]
-            if unsupported:
-                capable = ", ".join(
-                    sorted(name for name, kind in PROTOCOLS.items() if kind.supports_array)
-                )
-                raise SweepError(
-                    f"protocols {unsupported} have no finite state encoding and "
-                    f"cannot run on the '{self.backend}' backend "
-                    f"(array-capable: {capable})"
-                )
+        try:
+            engine = get_backend(self.backend)
+        except ValueError as error:
+            raise SweepError(str(error)) from None
         for name, values in (
             ("protocols", self.protocols), ("ns", self.ns), ("rs", self.rs),
             ("adversaries", self.adversaries), ("fault_rates", self.fault_rates),
@@ -203,10 +222,25 @@ class GridSpec:
             if protocol not in PROTOCOLS:
                 known = ", ".join(sorted(PROTOCOLS))
                 raise SweepError(f"unknown protocol '{protocol}' (known: {known})")
+            reason = engine.supports(_probe_protocol(PROTOCOLS[protocol]))
+            if reason is not None:
+                raise SweepError(
+                    f"protocol '{protocol}' cannot run on the "
+                    f"'{self.backend}' backend: {reason}"
+                )
         for adversary in self.adversaries:
-            if adversary != CLEAN and adversary not in ADVERSARIES:
-                known = ", ".join([CLEAN, *sorted(ADVERSARIES)])
+            if adversary != CLEAN and adversary not in ADVERSARIES \
+                    and adversary not in CODE_ADVERSARIES:
+                known = ", ".join([CLEAN, *sorted(ADVERSARIES), *sorted(CODE_ADVERSARIES)])
                 raise SweepError(f"unknown adversary '{adversary}' (known: {known})")
+            if adversary in CODE_ADVERSARIES and not _numpy_available():
+                # Fail at grid construction, not mid-sweep in a worker:
+                # the numpy-free object runtime is supported, but the
+                # code-space initializers draw with numpy on any backend.
+                raise SweepError(
+                    f"adversary '{adversary}' requires numpy "
+                    "(pip install repro-podc25-leader-election[array])"
+                )
         for n in self.ns:
             if n < 2:
                 raise SweepError(f"population size must be >= 2, got n={n}")
@@ -256,7 +290,7 @@ class ScenarioSpec:
     seed: int  # child seed derived from (grid seed, index) in the parent
     max_interactions: int
     check_interval: int
-    backend: str = BACKEND_OBJECT  # execution engine, resolved in the parent
+    backend: str = DEFAULT_BACKEND  # execution engine, resolved in the parent
 
     @property
     def scenario_key(self) -> tuple[str, int, int, str, float]:
@@ -287,7 +321,7 @@ class ScenarioOutcome:
     interactions: int
     parallel_time: float
     fault_bursts: int = 0
-    backend: str = BACKEND_OBJECT
+    backend: str = DEFAULT_BACKEND
 
     def to_record(self) -> dict[str, Any]:
         record: dict[str, Any] = {"kind": _TRIAL_KIND}
@@ -301,7 +335,7 @@ class ScenarioOutcome:
             "trial", "seed", "converged", "interactions", "parallel_time",
         )}
         fields["fault_bursts"] = record.get("fault_bursts", 0)
-        fields["backend"] = record.get("backend", BACKEND_OBJECT)
+        fields["backend"] = record.get("backend", DEFAULT_BACKEND)
         return cls(**fields)
 
 
@@ -328,7 +362,12 @@ def expand_grid(grid: GridSpec) -> list[ScenarioSpec]:
                 continue
         else:
             r = NO_R
-        if not kind.supports_adversaries:
+        if adversary in CODE_ADVERSARIES:
+            # Code-space adversaries need the finite encoding; the
+            # object-layout suite needs an ElectLeader state layout.
+            if not kind.finite_state:
+                adversary = CLEAN
+        elif not kind.supports_adversaries:
             adversary = CLEAN
         if not kind.supports_faults:
             fault_rate = 0.0
@@ -377,18 +416,27 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
     kind = PROTOCOLS[spec.protocol]
     protocol, predicate = kind.build(spec.n, spec.r)
     config = None
-    if spec.adversary != CLEAN:
+    codes = None
+    if spec.adversary in CODE_ADVERSARIES:
+        # Code-space adversaries draw from a PCG64 stream on the same
+        # derived seed, emit state codes, and feed every backend alike
+        # (make_simulation translates codes to the engine's native form).
+        generator = code_rng(derive_seed(spec.seed, _ADVERSARY_STREAM))
+        codes = CODE_ADVERSARIES[spec.adversary](protocol, generator, spec.n)
+    elif spec.adversary != CLEAN:
         adversary_rng = make_rng(derive_seed(spec.seed, _ADVERSARY_STREAM))
         config = ADVERSARIES[spec.adversary](protocol, adversary_rng)
     sim = make_simulation(
-        protocol, config=config, n=None if config else spec.n,
+        protocol, config=config, codes=codes,
+        n=spec.n if (config is None and codes is None) else None,
         seed=spec.seed, backend=spec.backend,
     )
     injector: Optional[FaultInjector] = None
     if spec.fault_rate > 0:
         # Fault injection needs per-interaction observers, which only the
-        # object backend has; GridSpec validation keeps array sweeps to
-        # fault-free protocols, so this branch never runs on 'array'.
+        # object engine has; the only faults-capable protocol
+        # (elect_leader) fails the vectorized engines' capability check in
+        # GridSpec validation, so this branch always has observers.
         injector = FaultInjector(
             single_agent_scrambler(protocol),
             rate=spec.fault_rate,
@@ -474,7 +522,7 @@ def load_checkpoint(
         # key (mirroring ScenarioOutcome.from_record) keeps them
         # resumable instead of rejecting them as "a different grid".
         stored_grid = dict(stored_grid)
-        stored_grid.setdefault("backend", BACKEND_OBJECT)
+        stored_grid.setdefault("backend", DEFAULT_BACKEND)
     if stored_grid != grid.to_dict():
         raise SweepError(
             f"{path}: checkpoint was written for a different grid; "

@@ -22,11 +22,17 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.core.protocol import PopulationProtocol
 from repro.scheduler.rng import derive_seed
+from repro.sim.backends import resolve_backend
 from repro.sim.parallel import TrialSpec, run_trial_specs
-from repro.sim.simulation import ConfigPredicate, resolve_backend
+from repro.sim.simulation import ConfigPredicate
 
 #: Builds a fresh initial configuration for trial ``index`` (or None for clean).
 ConfigFactory = Callable[[int], Optional[list[Any]]]
+
+#: Builds a fresh encoded start (state codes) for trial ``index`` — the
+#: O(1)-per-agent alternative to ConfigFactory for finite-state protocols
+#: at large n (no state objects are materialized or pickled).
+CodesFactory = Callable[[int], Optional[Sequence[int]]]
 
 
 @dataclass
@@ -90,6 +96,7 @@ def run_trials(
     seed: int = 0,
     check_interval: int = 1,
     config_factory: Optional[ConfigFactory] = None,
+    codes_factory: Optional[CodesFactory] = None,
     label: str = "",
     workers: Optional[int] = 1,
     backend: Optional[str] = None,
@@ -106,15 +113,28 @@ def run_trials(
     every worker count — each trial is determined by its derived seed, and
     outcomes are aggregated in trial order.
 
-    ``backend`` selects the execution engine per trial (``"object"`` /
-    ``"array"``; ``None`` resolves ``$REPRO_BENCH_BACKEND``, defaulting
-    to object).  It is resolved here, in the parent, so worker processes
-    cannot disagree about which engine ran.
+    ``config_factory`` builds each trial's start configuration as state
+    objects; ``codes_factory`` builds it as encoded state codes instead
+    (finite-state protocols only) — specs then carry a small integer
+    array rather than ``n`` state objects, which is what keeps
+    ``n ≥ 10⁶`` counts-backend trials cheap to build and pickle.
+
+    ``backend`` names a registered execution engine
+    (:mod:`repro.sim.backends`; ``None`` resolves ``$REPRO_BENCH_BACKEND``,
+    defaulting to the object engine).  Resolution happens exactly once,
+    here in the parent: specs carry the resolved name, and everything
+    downstream — :func:`repro.sim.parallel.run_trial` in whichever
+    process, :func:`repro.sim.backends.make_simulation` — does a pure
+    registry lookup that never consults the environment, so workers
+    cannot disagree with their parent about which engine ran.
     """
     engine = resolve_backend(backend)
+    if config_factory is not None and codes_factory is not None:
+        raise ValueError("provide at most one of config_factory and codes_factory")
 
     def build_spec(index: int) -> TrialSpec:
         config = config_factory(index) if config_factory is not None else None
+        codes = codes_factory(index) if codes_factory is not None else None
         return TrialSpec(
             index=index,
             protocol=protocol,
@@ -123,8 +143,9 @@ def run_trials(
             max_interactions=max_interactions,
             check_interval=check_interval,
             config=config,
-            n=None if config is not None else n,
+            n=None if (config is not None or codes is not None) else n,
             backend=engine,
+            codes=codes,
         )
 
     # A generator keeps the sequential path at O(one config) peak memory:

@@ -76,6 +76,10 @@ class EpidemicProtocol(PopulationProtocol):
         """Complete = everyone infected."""
         return all(s.marked for s in config)
 
+    def goal_counts(self, counts) -> bool:
+        """Counts form (counts backend): no unmarked agents remain."""
+        return int(counts[0]) == 0
+
 
 class OneWayEpidemicProtocol(EpidemicProtocol):
     """One-way epidemic: the initiator infects the responder only."""

@@ -1,0 +1,177 @@
+"""The execution-backend registry: one source of truth for engine dispatch.
+
+Contracts gated here:
+
+* the registry knows the three built-in engines (object first), rejects
+  unknown names with the known list, and supports one-file extension via
+  :func:`register_backend`;
+* resolution (``None`` → ``$REPRO_BENCH_BACKEND`` → default) happens only
+  in :func:`resolve_backend`; :func:`get_backend` and
+  ``make_simulation(backend=<resolved name>)`` are pure lookups that never
+  consult the environment;
+* capability checks: the object engine runs everything, the vectorized
+  engines reject protocols without a finite encoding, with a reason;
+* ``make_simulation`` routes to the right engine class and translates the
+  shared ``codes=`` initial-configuration currency for each of them;
+* the dispatch sites themselves (``simulation``/``trials``/``sweep``/
+  ``cli``) contain no hardcoded backend-name conditionals.
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+
+import pytest
+
+from repro.baselines.nonss_leader import PairwiseElimination
+from repro.core.elect_leader import ElectLeader
+from repro.core.params import ProtocolParams
+from repro.sim import backends
+from repro.sim.backends import (
+    Backend,
+    backend_names,
+    get_backend,
+    make_simulation,
+    register_backend,
+    resolve_backend,
+    supports_backend,
+)
+from repro.sim.simulation import Simulation
+
+
+class TestRegistry:
+    def test_builtins_registered_default_first(self):
+        names = backend_names()
+        assert names[0] == "object"
+        assert set(names) >= {"object", "array", "counts"}
+
+    def test_get_backend_unknown_lists_known(self):
+        with pytest.raises(ValueError, match="unknown backend 'gpu'.*object"):
+            get_backend("gpu")
+
+    def test_register_rejects_duplicates_and_bad_names(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(get_backend("object"))
+        with pytest.raises(ValueError, match="simple identifier"):
+            register_backend(
+                Backend(name="not a name", factory=lambda *a, **k: None,
+                        supports=lambda p: None)
+            )
+
+    def test_fourth_backend_is_one_registration(self):
+        """The extension contract: register → every entry point sees it."""
+        calls = {}
+
+        def factory(protocol, *, config=None, n=None, seed=0, codes=None):
+            calls["built"] = True
+            return Simulation(protocol, config=config, n=n, seed=seed)
+
+        register_backend(
+            Backend(name="dummy", factory=factory, supports=lambda p: None)
+        )
+        try:
+            assert "dummy" in backend_names()
+            assert resolve_backend("dummy") == "dummy"
+            sim = make_simulation(PairwiseElimination(8), n=8, backend="dummy")
+            assert calls["built"] and isinstance(sim, Simulation)
+        finally:
+            del backends._REGISTRY["dummy"]
+
+    def test_replace_requires_flag(self):
+        original = get_backend("object")
+        register_backend(original, replace=True)  # no-op re-registration
+        assert get_backend("object") is original
+
+
+class TestResolution:
+    def test_explicit_name_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "counts")
+        assert resolve_backend("object") == "object"
+        assert resolve_backend(None) == "counts"
+
+    def test_none_defaults_to_object(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_BACKEND", raising=False)
+        assert resolve_backend(None) == "object"
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "bogus")
+        with pytest.raises(ValueError, match="unknown backend 'bogus'"):
+            resolve_backend(None)
+
+    def test_resolved_names_never_consult_env(self, monkeypatch):
+        # The resolve-once contract: a worker holding a resolved name must
+        # be immune to its own (possibly bogus) environment.
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "bogus")
+        assert isinstance(make_simulation(PairwiseElimination(8), n=8, backend="object"),
+                          Simulation)
+
+
+class TestCapabilities:
+    def test_object_runs_everything(self):
+        elect = ElectLeader(ProtocolParams(n=16, r=2))
+        assert supports_backend(elect, "object") is None
+
+    @pytest.mark.parametrize("name", ["array", "counts"])
+    def test_vectorized_engines_reject_elect_leader(self, name):
+        elect = ElectLeader(ProtocolParams(n=16, r=2))
+        reason = supports_backend(elect, name)
+        assert reason is not None and "finite state encoding" in reason
+
+    @pytest.mark.parametrize("name", ["array", "counts"])
+    def test_vectorized_engines_accept_finite_state(self, name):
+        assert supports_backend(PairwiseElimination(8), name) is None
+
+    def test_require_raises_with_protocol_and_backend(self):
+        elect = ElectLeader(ProtocolParams(n=16, r=2))
+        with pytest.raises(ValueError, match="'elect-leader'.*'counts'"):
+            get_backend("counts").require(elect)
+
+
+class TestMakeSimulation:
+    def test_routes_to_engine_classes(self):
+        pytest.importorskip("numpy")
+        from repro.sim.array_backend import ArraySimulation
+        from repro.sim.counts_backend import CountsSimulation
+
+        protocol = PairwiseElimination(8)
+        assert isinstance(make_simulation(protocol, n=8), Simulation)
+        assert isinstance(
+            make_simulation(protocol, n=8, backend="array"), ArraySimulation
+        )
+        assert isinstance(
+            make_simulation(protocol, n=8, backend="counts"), CountsSimulation
+        )
+
+    def test_codes_reach_every_engine_identically(self):
+        np = pytest.importorskip("numpy")
+        protocol = PairwiseElimination(8)
+        codes = [1, 0, 1, 0, 0, 0, 1, 0]
+        object_sim = make_simulation(protocol, codes=codes, backend="object")
+        array_sim = make_simulation(protocol, codes=codes, backend="array")
+        counts_sim = make_simulation(protocol, codes=codes, backend="counts")
+        assert [protocol.encode_state(s) for s in object_sim.config] == codes
+        assert array_sim.codes.tolist() == codes
+        assert counts_sim.counts.tolist() == np.bincount(codes, minlength=2).tolist()
+
+    def test_config_and_codes_are_exclusive(self):
+        protocol = PairwiseElimination(8)
+        with pytest.raises(ValueError, match="at most one"):
+            make_simulation(
+                protocol, config=protocol.clean_configuration(8), codes=[0] * 8
+            )
+
+
+class TestNoHardcodedDispatch:
+    def test_dispatch_sites_use_registry_lookups_only(self):
+        """No ``backend == "array"``-style conditionals outside the registry."""
+        from repro import cli
+        from repro.sim import simulation, sweep, trials
+
+        pattern = re.compile(r"""backend\s*(?:==|!=|\bin\b)\s*[("']""")
+        for module in (simulation, trials, sweep, cli):
+            source = inspect.getsource(module)
+            assert not pattern.search(source), (
+                f"{module.__name__} compares backend names directly; "
+                "use the registry instead"
+            )

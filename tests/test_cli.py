@@ -190,3 +190,42 @@ class TestSweepCommand:
         ])
         assert code == 2
         assert "unknown backend" in capsys.readouterr().err
+
+    def test_sweep_counts_backend(self, capsys, tmp_path):
+        pytest.importorskip("numpy")
+        out = tmp_path / "counts.jsonl"
+        code = main([
+            "sweep", "--protocols", "cai_izumi_wada", "loosely_stabilizing",
+            "--ns", "10", "--adversaries", "clean", "scramble",
+            "--trials", "2", "--seed", "3", "--backend", "counts",
+            "--max-interactions", "2000000", "--batch", "250", "--no-progress",
+            "--out", str(out),
+        ])
+        assert code == 0
+        text = out.read_text()
+        assert '"backend":"counts"' in text
+        assert '"adversary":"scramble"' in text
+        assert "success_rate" in capsys.readouterr().out
+
+    def test_sweep_counts_backend_rejects_elect_leader(self, capsys, tmp_path):
+        code = main([
+            "sweep", "--protocols", "elect_leader", "--ns", "8", "--rs", "2",
+            "--backend", "counts", "--no-progress",
+            "--out", str(tmp_path / "x.jsonl"),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "counts" in err
+
+    def test_backend_choices_come_from_registry(self, capsys):
+        from repro.sim.backends import backend_names
+
+        parser = build_parser()
+        # Every registered engine parses as a valid --backend choice...
+        for name in backend_names():
+            args = parser.parse_args(["sweep", "--backend", name])
+            assert args.backend == name
+        # ...and an unregistered one is rejected by argparse itself.
+        with pytest.raises(SystemExit):
+            parser.parse_args(["sweep", "--backend", "not_a_backend"])
+        capsys.readouterr()  # swallow argparse's usage message

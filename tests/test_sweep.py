@@ -291,3 +291,132 @@ class TestAggregateRows:
         assert len(rows) == 1
         assert rows[0]["success_rate"] == 0.0
         assert str(rows[0]["median_interactions"]) == "nan"
+
+
+class TestBackendValidation:
+    """GridSpec asks the backend registry, not hardcoded name lists."""
+
+    @pytest.mark.parametrize("backend", ["array", "counts"])
+    def test_vectorized_backends_reject_elect_leader(self, backend):
+        with pytest.raises(SweepError, match=f"cannot run on the '{backend}'"):
+            small_grid(protocols=("elect_leader",), backend=backend)
+
+    def test_unknown_backend_lists_known(self):
+        with pytest.raises(SweepError, match="unknown backend 'gpu'"):
+            small_grid(protocols=("pairwise_elimination",), backend="gpu")
+
+    @pytest.mark.parametrize("backend", ["array", "counts"])
+    def test_finite_state_protocols_accepted(self, backend):
+        pytest.importorskip("numpy")
+        grid = small_grid(
+            protocols=("pairwise_elimination", "cai_izumi_wada"), backend=backend
+        )
+        assert grid.backend == backend
+
+
+class TestCodeAdversaries:
+    """The vectorized (code-space) adversary axis across backends."""
+
+    def test_collapse_rules(self):
+        grid = small_grid(
+            protocols=("elect_leader", "pairwise_elimination"),
+            ns=(8,),
+            adversaries=(CLEAN, "scramble", "random_soup"),
+        )
+        specs = expand_grid(grid)
+        by_protocol = {}
+        for spec in specs:
+            by_protocol.setdefault(spec.protocol, set()).add(spec.adversary)
+        # elect_leader speaks the object-layout suite, the finite-state
+        # baseline the code-space suite — each collapses the other to clean.
+        assert by_protocol["elect_leader"] == {CLEAN, "random_soup"}
+        assert by_protocol["pairwise_elimination"] == {CLEAN, "scramble"}
+
+    @pytest.mark.parametrize("backend", ["object", "array", "counts"])
+    def test_scramble_scenario_runs_on_every_backend(self, backend):
+        pytest.importorskip("numpy")
+        grid = small_grid(
+            protocols=("cai_izumi_wada",),
+            ns=(10,),
+            adversaries=("scramble",),
+            trials=1,
+            backend=backend,
+        )
+        outcome = run_scenario(expand_grid(grid)[0])
+        assert outcome.converged
+        assert outcome.backend == backend
+
+    def test_same_seed_same_start_across_backends(self):
+        pytest.importorskip("numpy")
+        from repro.adversary.initializers import CODE_ADVERSARIES, code_rng
+        from repro.sim.sweep import _ADVERSARY_STREAM
+        from repro.scheduler.rng import derive_seed
+
+        grids = {
+            backend: small_grid(
+                protocols=("cai_izumi_wada",), ns=(10,), adversaries=("scramble",),
+                trials=1, backend=backend,
+            )
+            for backend in ("object", "array", "counts")
+        }
+        specs = {backend: expand_grid(grid)[0] for backend, grid in grids.items()}
+        seeds = {spec.seed for spec in specs.values()}
+        assert len(seeds) == 1  # same grid seed/index → same child seed
+        seed = seeds.pop()
+        draw = CODE_ADVERSARIES["scramble"]
+        from repro.baselines.cai_izumi_wada import CaiIzumiWada
+        from repro.core.params import BaselineParams
+
+        reference = draw(
+            CaiIzumiWada(BaselineParams(n=10)),
+            code_rng(derive_seed(seed, _ADVERSARY_STREAM)),
+            10,
+        ).tolist()
+        again = draw(
+            CaiIzumiWada(BaselineParams(n=10)),
+            code_rng(derive_seed(seed, _ADVERSARY_STREAM)),
+            10,
+        ).tolist()
+        assert reference == again
+
+
+class TestCountsBackendSweep:
+    def counts_grid(self, **overrides):
+        settings = dict(
+            protocols=("cai_izumi_wada", "loosely_stabilizing"),
+            ns=(10, 16),
+            adversaries=(CLEAN, "scramble"),
+            trials=2,
+            seed=11,
+            max_interactions=2_000_000,
+            check_interval=250,
+            backend="counts",
+        )
+        settings.update(overrides)
+        return small_grid(**settings)
+
+    def test_end_to_end_with_resume_byte_identical(self, tmp_path):
+        pytest.importorskip("numpy")
+        grid = self.counts_grid()
+        full = tmp_path / "full.jsonl"
+        result = run_sweep(grid, workers=1, jsonl_path=full)
+        assert all(outcome.converged for outcome in result.outcomes)
+        assert all(outcome.backend == "counts" for outcome in result.outcomes)
+        full_bytes = full.read_bytes()
+        assert b'"backend":"counts"' in full_bytes
+        # Kill mid-stream (partial final line) and resume.
+        resumed = tmp_path / "resumed.jsonl"
+        resumed.write_bytes(full_bytes[: len(full_bytes) * 2 // 5])
+        result2 = run_sweep(grid, workers=2, jsonl_path=resumed, resume=True)
+        assert resumed.read_bytes() == full_bytes
+        assert result2.resumed_trials > 0
+        assert [o for o in result2.outcomes] == [o for o in result.outcomes]
+
+    def test_worker_invariance(self, tmp_path):
+        pytest.importorskip("numpy")
+        grid = self.counts_grid(ns=(10,), adversaries=(CLEAN,))
+        tables = []
+        for workers in (1, 3):
+            result = run_sweep(grid, workers=workers)
+            tables.append(format_table(result.rows))
+        assert tables[0] == tables[1]

@@ -140,3 +140,81 @@ class TestFormatTable:
 
     def test_empty_rows(self):
         assert "(no rows)" in format_table([], title="T")
+
+
+class TestBackendSelection:
+    def test_counts_backend_summary(self):
+        import pytest
+
+        pytest.importorskip("numpy")
+        protocol = PairwiseElimination(16)
+        from repro.sim.counts_backend import goal_counts_predicate
+
+        summary = run_trials(
+            protocol,
+            goal_counts_predicate(protocol),
+            n=16,
+            trials=4,
+            max_interactions=200_000,
+            seed=9,
+            check_interval=16,
+            backend="counts",
+        )
+        assert summary.converged == 4
+        assert all(t > 0 for t in summary.parallel_times)
+
+    def test_explicit_backend_immune_to_bogus_env(self, monkeypatch):
+        # Resolution happens once at the entry point; an explicit name is
+        # a pure registry lookup and never consults the environment.
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "bogus")
+        protocol = PairwiseElimination(12)
+        summary = run_trials(
+            protocol,
+            protocol.is_goal_configuration,
+            n=12,
+            trials=2,
+            max_interactions=100_000,
+            seed=1,
+            backend="object",
+        )
+        assert summary.converged == 2
+
+    def test_codes_factory_builds_encoded_starts(self):
+        import pytest
+
+        np = pytest.importorskip("numpy")
+        from repro.substrates.epidemics import EpidemicProtocol
+        from repro.sim.counts_backend import goal_counts_predicate
+
+        protocol = EpidemicProtocol()
+
+        def seeded(index):
+            codes = np.zeros(48, dtype=np.int64)
+            codes[0] = 1
+            return codes
+
+        summaries = [
+            run_trials(
+                protocol,
+                goal_counts_predicate(protocol),
+                n=48,
+                trials=3,
+                max_interactions=100_000,
+                seed=4,
+                check_interval=48,
+                codes_factory=seeded,
+                backend=backend,
+            )
+            for backend in ("object", "counts")
+        ]
+        assert all(s.converged == 3 for s in summaries)
+        with pytest.raises(ValueError, match="at most one"):
+            run_trials(
+                protocol,
+                protocol.is_goal_configuration,
+                n=48,
+                trials=1,
+                max_interactions=10,
+                config_factory=lambda index: None,
+                codes_factory=seeded,
+            )

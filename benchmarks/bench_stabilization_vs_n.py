@@ -13,7 +13,9 @@ curve family to the ``n ≥ 10⁶`` frontier on the counts backend: the
 finite-state primitives that *compose* ``ElectLeader_r`` — the epidemic
 (Lemma A.2) and the standalone reset epidemic (Appendix C) — swept to
 population sizes only the count-vector representation reaches, with the
-``n log n`` shape asserted on the epidemic decade range.
+``n log n`` shape asserted on the epidemic decade range.  The reset rows
+reach ``n = 10⁶`` too since the protocol's closed-form transition table
+replaced the generic ``S²`` enumeration (which capped them at ``10⁴``).
 """
 
 from __future__ import annotations
@@ -147,16 +149,17 @@ def test_e2b_table_protocol_stabilization_vs_n_counts(benchmark, record_table):
                 }
             )
         # Reset epidemic (Appendix C): the deterministic finite-state core
-        # mechanism; its S = Θ(log² n) table keeps the generic builder
-        # affordable through n = 10⁴.
-        for n in (1_000, 10_000):
+        # mechanism.  Its closed-form transition table (no S² Python δ
+        # enumeration) lifts the old n = 10⁴ cap: the reset curve now
+        # reaches the same n = 10⁶ frontier as the plain epidemic.
+        for n in (10_000, 100_000, 1_000_000):
             reset = ResetEpidemicProtocol(ProtocolParams(n=n, r=4))
             triggered = reset.encode_state(reset.triggered_state())
             summary = run_trials(
                 reset,
                 goal_counts_predicate(reset),
                 n=n,
-                trials=5,
+                trials=5 if n < 1_000_000 else 3,
                 max_interactions=400 * n,
                 seed=3_000 + n,
                 check_interval=max(1, n // 8),

@@ -447,6 +447,18 @@ CODE_ADVERSARIES: dict[str, Callable] = {
 }
 
 
+#: The ``O(S)`` count-vector twins of :data:`CODE_ADVERSARIES`, keyed by
+#: the same names: each maps ``(protocol, numpy_generator, n)`` to an
+#: ``(S,)`` count vector distributed identically to ``bincount`` of the
+#: codes form.  Counts-native backends (``Backend.counts_native`` in the
+#: registry) consume these directly, so an adversarial ``n = 10⁶`` sweep
+#: cell draws a few hundred integers instead of a million codes.
+COUNTS_ADVERSARIES: dict[str, Callable] = {
+    "scramble": scrambled_counts,
+    "plant_minority": planted_counts,
+}
+
+
 #: Named adversary suite used by the recovery experiment (E4).
 ADVERSARIES: dict[str, Adversary] = {
     "all_duplicate_rank": lambda p, rng: all_duplicate_rank(p, rng),

@@ -34,6 +34,7 @@ from repro.core.elect_leader import ElectLeader
 from repro.core.params import ProtocolParams
 from repro.scheduler.rng import make_rng
 from repro.sim.backends import BACKEND_OBJECT, backend_names, resolve_backend
+from repro.sim.fault_engine import DEFAULT_FAULT_MODEL, fault_model_names
 from repro.sim.simulation import Simulation
 from repro.sim.sweep import CLEAN, PROTOCOLS, GridSpec, SweepError, run_sweep
 from repro.sim.trials import format_table, run_trials
@@ -142,6 +143,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--fault-rates", nargs="+", type=_fault_rate, default=[0.0], metavar="RATE",
         help="fault bursts per unit of parallel time (0 = no injection)",
+    )
+    sweep.add_argument(
+        "--fault-model", dest="fault_models", nargs="+",
+        choices=fault_model_names(), default=[DEFAULT_FAULT_MODEL], metavar="MODEL",
+        help="fault-model axis for cells with a positive fault rate "
+        f"(registry: {', '.join(fault_model_names())}; ignored at rate 0). "
+        "Fault cells run the availability workload and record availability "
+        "and median repair time as first-class JSONL fields.",
     )
     sweep.add_argument(
         "--backend", choices=backend_names(), default=None,
@@ -298,6 +307,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         rs=tuple(args.rs),
         adversaries=tuple(args.adversaries),
         fault_rates=tuple(args.fault_rates),
+        fault_models=tuple(args.fault_models),
         trials=args.trials,
         seed=args.seed,
         max_interactions=args.max_interactions,

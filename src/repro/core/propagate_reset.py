@@ -207,6 +207,103 @@ class ResetEpidemicProtocol(PopulationProtocol):
         state.countdown = 0
         return state
 
+    def transition_table(self):
+        """Closed-form ``S × S`` table (replaces the generic S² builder).
+
+        The generic enumeration makes ``S²`` Python δ calls; with
+        ``S = 1 + (R_max+1)(D_max+1) = Θ(log² n)`` that is ~600k calls at
+        ``n = 10⁴`` and ~2.7M at ``n = 10⁶`` — the cap that kept nightly
+        reset rows at ``n = 10⁴``.  ``propagate_reset``'s case analysis
+        over (awake, resetter(c, d)) pairs has a direct vectorized form:
+
+        * awake × awake — no-op;
+        * resetter(c, d) × awake — ``c = 0``: the dormant agent meets a
+          computing one and both end awake (awakening epidemic);
+          ``c ≥ 1``: infection then downward sync, so the resetter drops
+          to ``c − 1`` (delay refreshed to ``D_max`` iff it just hit 0)
+          and the partner becomes ``resetter(c − 1, D_max)``;
+        * resetter(c₁, d₁) × resetter(c₂, d₂) — both counts become
+          ``m = max(c₁ − 1, c₂ − 1, 0)``; if ``m ≥ 1`` delays are
+          untouched; if ``m = 0`` each agent independently refreshes its
+          delay to ``D_max`` (if its count just became 0) or ticks it
+          down, awakening when the new delay hits 0.
+
+        A regression test checks this table equals the generic builder's
+        entry for entry.
+        """
+        from repro.sim.array_backend import TransitionTable, require_numpy
+
+        np = require_numpy()
+        d_max = self.params.delay_timer_max
+        block = d_max + 1
+        size = self.num_states()
+        codes = np.arange(size, dtype=np.int64)
+        # Per-code fields: count/delay are -1 for the awake code so the
+        # masks below can treat "awake" uniformly.
+        count = np.where(codes == 0, -1, (codes - 1) // block)
+        delay = np.where(codes == 0, -1, (codes - 1) % block)
+
+        def resetter(c, d):
+            return 1 + c * block + d
+
+        def post_sync(own_count, own_delay, merged):
+            """One agent's code after its count becomes ``merged``."""
+            # merged >= 1: delay untouched.  merged == 0: refresh to D_max
+            # if the count just dropped to 0, else tick down and awaken at
+            # 0 (Protocol 4 lines 5-11 with a resetting partner).
+            ticked = np.maximum(own_delay - 1, 0)
+            dormant = np.where(
+                own_count > 0,
+                resetter(0, d_max),
+                np.where(ticked == 0, 0, resetter(0, ticked)),
+            )
+            return np.where(merged > 0, resetter(merged, own_delay), dormant)
+
+        ca, cb = count[:, None], count[None, :]
+        da, db = delay[:, None], delay[None, :]
+        a_code = np.broadcast_to(codes[:, None], (size, size))
+        b_code = np.broadcast_to(codes[None, :], (size, size))
+        a_resets = ca >= 0
+        b_resets = cb >= 0
+
+        # Both resetting: counts sync to m, then the dormancy step — which
+        # is *sequential in the pair order*: ``propagate_reset`` finalizes
+        # ``u`` first, so a ``u`` that awakens (its ticked delay hit 0) is
+        # a computing partner by the time ``v`` is processed, and ``v``
+        # awakens in the same interaction; the cascade does not run the
+        # other way.  (Evaluated everywhere; masked in below.)
+        merged = np.maximum(np.maximum(ca - 1, cb - 1), 0)
+        both_u = post_sync(ca, da, merged)
+        both_v = np.where(both_u == 0, 0, post_sync(cb, db, merged))
+
+        # Resetter × awake (either order): dormant resetters awaken on
+        # contact with a computing agent; active ones infect it and both
+        # sync to c - 1.  The infected partner's count "just became zero"
+        # whenever the merged count is 0 (its pre-count was None), so it
+        # takes post_sync's refresh branch (own_count=1) at delay D_max.
+        ra_u = np.where(ca == 0, 0, post_sync(ca, da, np.maximum(ca - 1, 0)))
+        ra_v = np.where(
+            ca == 0,
+            0,
+            post_sync(np.ones_like(ca), np.full_like(da, d_max), np.maximum(ca - 1, 0)),
+        )
+        rb_v = np.where(cb == 0, 0, post_sync(cb, db, np.maximum(cb - 1, 0)))
+        rb_u = np.where(
+            cb == 0,
+            0,
+            post_sync(np.ones_like(cb), np.full_like(db, d_max), np.maximum(cb - 1, 0)),
+        )
+
+        u_out = np.where(
+            a_resets & b_resets, both_u,
+            np.where(a_resets, ra_u, np.where(b_resets, rb_u, a_code)),
+        ).astype(np.int32)
+        v_out = np.where(
+            a_resets & b_resets, both_v,
+            np.where(a_resets, ra_v, np.where(b_resets, rb_v, b_code)),
+        ).astype(np.int32)
+        return TransitionTable(num_states=size, u_out=u_out, v_out=v_out)
+
 
 def is_dormant(state: AgentState) -> bool:
     """True iff the agent is a dormant resetter (count 0, waiting)."""

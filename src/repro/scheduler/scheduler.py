@@ -204,8 +204,11 @@ class CollisionRunSampler:
         """Draw one run length: max t with ``P(run >= t) > u``, u ~ U(0,1)."""
         u = self._generator.random()
         # survival is non-increasing, so count entries > u via a single
-        # searchsorted on its negation (which is non-decreasing).
-        length = int(self._np.searchsorted(self._neg_survival, -u, side="right"))
+        # searchsorted on its negation (which is non-decreasing).  The
+        # ndarray method skips the numpy.* dispatch wrapper — this is
+        # called once per collision-free run, the counts engine's unit of
+        # progress.
+        length = int(self._neg_survival.searchsorted(-u, side="right"))
         return max(1, length)
 
 

@@ -8,6 +8,16 @@ from repro.sim.convergence import (
     run_to_silence,
     unique_leader,
 )
+from repro.sim.fault_engine import (
+    FAULT_MODELS,
+    FaultEngine,
+    FaultEngineError,
+    FaultModel,
+    fault_model_names,
+    get_fault_model,
+    make_fault_engine,
+    register_fault_model,
+)
 from repro.sim.faults import AvailabilityReport, FaultInjector, measure_availability
 from repro.sim.metrics import Metrics
 from repro.sim.parallel import (
@@ -138,6 +148,14 @@ __all__ = [
     "FaultInjector",
     "AvailabilityReport",
     "measure_availability",
+    "FAULT_MODELS",
+    "FaultEngine",
+    "FaultEngineError",
+    "FaultModel",
+    "fault_model_names",
+    "get_fault_model",
+    "make_fault_engine",
+    "register_fault_model",
     "ProtocolTracer",
     "TraceEvent",
 ]

@@ -489,21 +489,48 @@ class ArraySimulation:
         """Run until ``predicate(config)`` holds or the budget is exhausted.
 
         Identical check discipline to the object backend: the predicate is
-        evaluated (on a decoded configuration) before the first step and
-        then every ``check_interval`` interactions.
+        evaluated before the first step and then every ``check_interval``
+        interactions — through :meth:`predicate_holds`, so counts-aware
+        predicates are answered by one ``bincount`` instead of decoding
+        ``n`` state objects per check.
         """
         if check_interval < 1:
             raise ValueError("check_interval must be positive")
-        if predicate(self.config):
+        if self.predicate_holds(predicate):
             return self._result(converged=True)
         remaining = max_interactions
         while remaining > 0:
             burst = min(check_interval, remaining)
             self.run_batch(burst)
             remaining -= burst
-            if predicate(self.config):
+            if self.predicate_holds(predicate):
                 return self._result(converged=True)
         return self._result(converged=False)
+
+    def predicate_holds(self, predicate: ConfigPredicate) -> bool:
+        """Evaluate a predicate in this backend's cheapest form.
+
+        A predicate carrying a counts-space form (``predicate.on_counts``,
+        see :func:`repro.sim.counts_backend.counts_aware`) is evaluated on
+        ``bincount(codes)`` — one ``O(n)`` vectorized pass and an ``O(S)``
+        aggregate check, instead of materializing ``n`` decoded state
+        objects and walking them in Python.  Plain config predicates fall
+        back to the decoded configuration, unchanged.
+        """
+        on_counts = getattr(predicate, "on_counts", None)
+        if on_counts is not None:
+            np = require_numpy()
+            return bool(on_counts(np.bincount(self.codes, minlength=self.table.num_states)))
+        return bool(predicate(self.config))
+
+    def apply_fault(self, model, burst_size: int, generator) -> None:
+        """Inject one fault burst (common engine surface).
+
+        ``model`` is a :class:`repro.sim.fault_engine.FaultModel`; on this
+        backend its vectorized applier corrupts the state-code array in
+        place at the drawn victim indices.
+        """
+        model.apply_codes(self.protocol, self.codes, burst_size, generator)
 
     def apply_schedule(self, schedule: Iterable[tuple[int, int]]) -> None:
         """Apply a fixed interaction sequence (e.g. a ``RecordedSchedule``).

@@ -27,12 +27,18 @@ registration line below), and every entry point picks it up.
 **The registry contract.**  A :class:`Backend` bundles:
 
 * ``name`` — the string users pass as ``backend=`` / ``--backend``;
-* ``factory(protocol, *, config, n, seed, codes)`` — builds a simulation
-  exposing the common engine surface (``run`` / ``run_batch`` /
-  ``run_until`` / ``metrics`` / ``config`` / ``n``).  ``codes`` is an
-  optional encoded initial configuration (a sequence of state codes, the
-  common currency of the vectorized adversary initializers); factories
-  translate it to their native representation;
+* ``factory(protocol, *, config, n, seed, codes, counts)`` — builds a
+  simulation exposing the common engine surface (``run`` / ``run_batch``
+  / ``run_until`` / ``predicate_holds`` / ``apply_fault`` / ``metrics`` /
+  ``config`` / ``n``).  ``codes`` is an optional encoded initial
+  configuration (a sequence of state codes, the common currency of the
+  vectorized adversary initializers) and ``counts`` its ``O(S)``
+  count-vector sibling (the currency of the ``*_counts`` adversary
+  twins); factories translate either to their native representation;
+* ``counts_native`` — ``True`` when the engine's native configuration IS
+  a count vector, so callers holding both forms of an initial
+  configuration (e.g. an adversary with ``codes`` and ``counts`` twins)
+  can hand over the ``O(S)`` one without naming the backend;
 * ``supports(protocol)`` — ``None`` when the engine can run the protocol,
   else a human-readable reason (used by :class:`~repro.sim.sweep
   .GridSpec` validation and by callers that want to fail before spawning
@@ -73,7 +79,7 @@ BACKEND_COUNTS = "counts"
 #: The engine used when neither the caller nor the environment names one.
 DEFAULT_BACKEND = BACKEND_OBJECT
 
-#: Factory signature: ``factory(protocol, config=, n=, seed=, codes=)``.
+#: Factory signature: ``factory(protocol, config=, n=, seed=, codes=, counts=)``.
 SimulationFactory = Callable[..., Any]
 
 #: Capability check: ``None`` = supported, else the reason it is not.
@@ -88,6 +94,8 @@ class Backend:
     factory: SimulationFactory
     supports: SupportsCheck
     description: str = ""
+    #: True when the engine's native configuration is a count vector.
+    counts_native: bool = False
 
     def require(self, protocol: PopulationProtocol) -> None:
         """Raise ``ValueError`` unless this engine can run ``protocol``."""
@@ -158,18 +166,20 @@ def make_simulation(
     seed: int = 0,
     backend: Optional[str] = None,
     codes: Optional[Sequence[int]] = None,
+    counts: Optional[Sequence[int]] = None,
 ):
     """Build a simulation on the requested execution backend.
 
     Exactly one of ``config`` (state objects), ``codes`` (encoded state
-    codes) or ``n`` (clean start) describes the initial configuration.
-    ``backend=None`` resolves the environment default; a non-``None``
-    name is treated as already resolved and looked up directly.
+    codes), ``counts`` (an ``S``-length count vector) or ``n`` (clean
+    start) describes the initial configuration.  ``backend=None``
+    resolves the environment default; a non-``None`` name is treated as
+    already resolved and looked up directly.
     """
-    if config is not None and codes is not None:
-        raise ValueError("provide at most one of config= and codes=")
+    if sum(x is not None for x in (config, codes, counts)) > 1:
+        raise ValueError("provide at most one of config=, codes= and counts=")
     entry = get_backend(backend if backend is not None else resolve_backend(None))
-    return entry.factory(protocol, config=config, n=n, seed=seed, codes=codes)
+    return entry.factory(protocol, config=config, n=n, seed=seed, codes=codes, counts=counts)
 
 
 # ---------------------------------------------------------------------------
@@ -199,10 +209,34 @@ def _decode_codes(protocol: PopulationProtocol, codes: Sequence[int]) -> list[An
     return config
 
 
-def _object_factory(protocol, *, config=None, n=None, seed=0, codes=None):
+def _expand_counts(protocol: PopulationProtocol, counts: Sequence[int]) -> list[Any]:
+    """Expand a count vector to *fresh* state objects (numpy-free).
+
+    Every agent gets its own decoded object — the object engine mutates
+    states in place, so the shared-object expansion the counts backend
+    uses for read-only predicates would alias agents together here.
+    """
+    size = protocol.num_states()
+    values = [int(count) for count in counts]
+    if size is None or len(values) != size:
+        raise ValueError(
+            f"counts must have length num_states()={size}, got {len(values)}"
+        )
+    config: list[Any] = []
+    for code, count in enumerate(values):
+        if count < 0:
+            raise ValueError("counts must be non-negative")
+        for _ in range(count):
+            config.append(protocol.decode_state(code))
+    return config
+
+
+def _object_factory(protocol, *, config=None, n=None, seed=0, codes=None, counts=None):
     from repro.sim.simulation import Simulation
 
-    if codes is not None:
+    if counts is not None:
+        config = _expand_counts(protocol, counts)
+    elif codes is not None:
         config = _decode_codes(protocol, codes)
     return Simulation(protocol, config=config, n=n, seed=seed)
 
@@ -229,16 +263,25 @@ def _finite_state_supports(protocol: PopulationProtocol) -> Optional[str]:
     return None
 
 
-def _array_factory(protocol, *, config=None, n=None, seed=0, codes=None):
-    from repro.sim.array_backend import ArraySimulation
+def _array_factory(protocol, *, config=None, n=None, seed=0, codes=None, counts=None):
+    from repro.sim.array_backend import ArraySimulation, require_numpy
 
+    if counts is not None:
+        np = require_numpy()
+        vector = np.asarray(counts, dtype=np.int64)
+        size = protocol.num_states()
+        if size is None or vector.shape != (size,):
+            raise ValueError(
+                f"counts must have shape (num_states()={size},), got {vector.shape}"
+            )
+        codes = np.repeat(np.arange(size, dtype=np.int64), vector)
     return ArraySimulation(protocol, config=config, n=n, seed=seed, codes=codes)
 
 
-def _counts_factory(protocol, *, config=None, n=None, seed=0, codes=None):
+def _counts_factory(protocol, *, config=None, n=None, seed=0, codes=None, counts=None):
     from repro.sim.counts_backend import CountsSimulation
 
-    return CountsSimulation(protocol, config=config, n=n, seed=seed, codes=codes)
+    return CountsSimulation(protocol, config=config, n=n, seed=seed, codes=codes, counts=counts)
 
 
 register_backend(
@@ -263,5 +306,6 @@ register_backend(
         factory=_counts_factory,
         supports=_finite_state_supports,
         description="count-vector over state codes (finite-state protocols, aggregate statistics)",
+        counts_native=True,
     )
 )

@@ -97,6 +97,11 @@ BATCHING_RUN = "run"
 BATCHING_PAIR = "pair"
 BATCHING_MODES = (BATCHING_RUN, BATCHING_PAIR)
 
+#: Occupied-state cap for the counts-level silence check: above this many
+#: occupied codes the O(occupied²) table scan stops paying for itself and
+#: the batched sampler just runs (correct either way).
+MAX_SILENCE_STATES = 64
+
 
 # ---------------------------------------------------------------------------
 # Count-vector codecs
@@ -327,12 +332,23 @@ class CountsSimulation:
         self.run_batch(interactions)
 
     def run_batch(self, count: int) -> None:
-        """Run ``count`` interactions through the configured sampler."""
+        """Run ``count`` interactions through the configured sampler.
+
+        The batched sampler first runs the counts-level *silence check*
+        (:meth:`configuration_is_silent`): when every interaction the
+        current configuration can produce is provably a no-op — a silent
+        protocol in its goal configuration, an epidemic at saturation —
+        the whole batch is skipped in ``O(occupied²)`` table lookups.
+        Law-exact: from such a configuration the counts trajectory is
+        constant, so skipping changes nothing but the wall clock.  The
+        pair-at-a-time oracle never skips (its job is to be obviously
+        correct).
+        """
         if count < 0:
             raise ValueError(f"interaction count must be non-negative, got {count}")
         if self.batching == BATCHING_PAIR:
             self._run_pairwise(count)
-        else:
+        elif count and not self.configuration_is_silent():
             self._run_batched(count)
         self.metrics.interactions += count
 
@@ -353,23 +369,66 @@ class CountsSimulation:
         """
         if check_interval < 1:
             raise ValueError("check_interval must be positive")
-        on_counts = getattr(predicate, "on_counts", None)
-        if on_counts is None:
-            protocol = self.protocol
-
-            def on_counts(counts):
-                return predicate(configuration_from_counts(protocol, counts))
-
-        if on_counts(self.counts):
+        if self.predicate_holds(predicate):
             return self._result(converged=True)
         remaining = max_interactions
         while remaining > 0:
             burst = min(check_interval, remaining)
             self.run_batch(burst)
             remaining -= burst
-            if on_counts(self.counts):
+            if self.predicate_holds(predicate):
                 return self._result(converged=True)
         return self._result(converged=False)
+
+    def predicate_holds(self, predicate: ConfigPredicate) -> bool:
+        """Evaluate a predicate in this backend's cheapest form.
+
+        Counts-aware predicates read the count vector directly (``O(S)``);
+        plain config predicates get an expanded configuration per call —
+        correct, but ``O(n)``.
+        """
+        on_counts = getattr(predicate, "on_counts", None)
+        if on_counts is not None:
+            return bool(on_counts(self.counts))
+        return bool(predicate(configuration_from_counts(self.protocol, self.counts)))
+
+    def apply_fault(self, model, burst_size: int, generator) -> None:
+        """Inject one fault burst (common engine surface).
+
+        ``model`` is a :class:`repro.sim.fault_engine.FaultModel`; on this
+        backend its ``O(S)`` aggregate applier moves ``burst_size`` agents'
+        worth of state mass on the count vector via a multivariate-
+        hypergeometric victim draw — no per-agent work at any ``n``.
+        """
+        model.apply_counts(self.protocol, self.counts, burst_size, generator)
+
+    def configuration_is_silent(self) -> bool:
+        """True iff no *possible* interaction can change the counts.
+
+        The counts-level form of the paper's silence notion: every
+        ordered pair ``(a, b)`` of occupied codes that two distinct
+        agents can realize must satisfy ``δ(a, b) = (a, b)``.  A
+        diagonal pair ``(a, a)`` needs two agents in code ``a``, so
+        single-occupancy codes are exempt on the diagonal — which is
+        exactly why a one-leader pairwise-elimination population and a
+        CIW permutation count as silent.  ``O(occupied²)`` lookups,
+        bailing out above :data:`MAX_SILENCE_STATES` occupied codes
+        (``False`` is always a safe answer).
+        """
+        np = require_numpy()
+        counts = self.counts
+        occupied = np.flatnonzero(counts)
+        if occupied.size > MAX_SILENCE_STATES:
+            return False
+        grid = np.ix_(occupied, occupied)
+        changes = (self.table.u_out[grid] != occupied[:, None])
+        changes |= (self.table.v_out[grid] != occupied[None, :])
+        if not changes.any():
+            return True
+        # Non-inert diagonal entries are unrealizable with a single agent.
+        diagonal = np.arange(occupied.size)
+        changes[diagonal, diagonal] &= counts[occupied] > 1
+        return not changes.any()
 
     # ------------------------------------------------------------------
     # The batched collision-run sampler
@@ -385,23 +444,45 @@ class CountsSimulation:
         apply the colliding ``(L+1)``-th interaction individually.
         Truncating a run at the batch boundary and restarting fresh next
         call is exact (see the module docstring).
+
+        The body is the engine's hot loop — ``Θ(√n)`` interactions per
+        iteration means tens of thousands of iterations per ``n·log n``
+        workload — so the draw/apply kernels are inlined against hoisted
+        locals and ndarray *methods* (``.repeat``/``.take``), skipping
+        the ``numpy.*`` wrapper dispatch that would otherwise rival the
+        kernels themselves.  Draw order matches :func:`apply_pair_counts`
+        exactly; the aggregate delta differs only in folding the two
+        input-side bincounts into one over the interleaved draw.
         """
         np = require_numpy()
         rng = self._generator
         counts = self.counts
+        codes = self._codes
+        size = self.num_states
+        u_flat, v_flat = self.table.flat
+        bincount = np.bincount
+        concatenate = np.concatenate
+        draw_sample = rng.multivariate_hypergeometric
+        shuffle = rng.shuffle
+        next_run_length = self._runs.next_run_length
         remaining = count
         while remaining > 0:
-            avail = counts.copy()
-            length = self._runs.next_run_length()
+            length = next_run_length()
             k = min(length, remaining)
+            collide = remaining > k and k == length
             if k:
-                sample = rng.multivariate_hypergeometric(avail, 2 * k)
-                drawn = np.repeat(self._codes, sample)
-                rng.shuffle(drawn)
-                apply_pair_counts(counts, drawn[0::2], drawn[1::2], self.table)
-                avail -= sample
+                sample = draw_sample(counts, 2 * k)
+                drawn = codes.repeat(sample)
+                shuffle(drawn)
+                if collide:
+                    avail = counts - sample  # pre-run states of unused agents
+                index = drawn[0::2] * size
+                index += drawn[1::2]
+                outputs = concatenate((u_flat.take(index), v_flat.take(index)))
+                counts += bincount(outputs, minlength=size)
+                counts -= bincount(drawn, minlength=size)
                 remaining -= k
-            if remaining > 0 and k == length:
+            if collide:
                 self._collision_interaction(avail)
                 remaining -= 1
 
@@ -439,9 +520,10 @@ class CountsSimulation:
 
     def _draw_state(self, pool, total: int) -> int:
         """The state of one agent drawn uniformly from a count-vector pool."""
-        np = require_numpy()
         x = int(self._generator.integers(0, total))
-        return int(np.searchsorted(np.cumsum(pool), x, side="right"))
+        # ndarray methods, not numpy.* wrappers: this runs twice per
+        # collision interaction, i.e. once per Θ(√n) simulated steps.
+        return int(pool.cumsum().searchsorted(x, side="right"))
 
     def _apply_one(self, a: int, b: int) -> None:
         counts = self.counts

@@ -87,6 +87,59 @@ class FaultInjector:
         self._schedule(sim)
 
 
+class AvailabilityAccounting:
+    """Shared checkpoint bookkeeping of the availability workloads.
+
+    Both availability drivers — :func:`measure_availability` here (object
+    engine, observer-based injection) and :meth:`repro.sim.fault_engine
+    .FaultEngine.measure_availability` (backend-generic) — sample a
+    correctness predicate at checkpoints and owe **one repair sample per
+    burst**, measured to the first correct checkpoint after it.  That
+    accounting was subtle enough to have been fixed once already (earlier
+    bursts used to be dropped when several landed before a repair), so it
+    lives here exactly once and the drivers only feed it events and
+    checkpoint verdicts.
+    """
+
+    def __init__(self) -> None:
+        self.checkpoints = 0
+        self.available = 0
+        self.repair_times: list[int] = []
+        self.last_correct = False
+        # Every burst still awaiting its first correct checkpoint.
+        # Keeping all of them (not just the latest) is what makes the
+        # repair-time sample one-per-burst: under bursty injection
+        # several faults can land before the protocol recovers, and each
+        # owes a measurement.
+        self._pending_faults: list[int] = []
+        self._fault_cursor = 0
+
+    def note_events(self, events: Sequence[FaultEvent]) -> None:
+        """Absorb any bursts injected since the last call."""
+        while self._fault_cursor < len(events):
+            self._pending_faults.append(events[self._fault_cursor].interaction)
+            self._fault_cursor += 1
+
+    def checkpoint(self, now: int, correct: bool) -> None:
+        """Record one checkpoint verdict at interaction count ``now``."""
+        self.checkpoints += 1
+        self.last_correct = correct
+        if correct:
+            self.available += 1
+            self.repair_times.extend(now - fault for fault in self._pending_faults)
+            self._pending_faults.clear()
+
+    def report(self, *, total_interactions: int, fault_bursts: int) -> "AvailabilityReport":
+        return AvailabilityReport(
+            interactions=total_interactions,
+            checkpoints=self.checkpoints,
+            available_checkpoints=self.available,
+            fault_bursts=fault_bursts,
+            repair_times=self.repair_times,
+            last_checkpoint_correct=self.last_correct,
+        )
+
+
 @dataclass
 class AvailabilityReport:
     """Result of an availability run."""
@@ -96,6 +149,9 @@ class AvailabilityReport:
     available_checkpoints: int
     fault_bursts: int
     repair_times: list[int]
+    #: Whether the final checkpoint was correct — "available right now" at
+    #: the end of the run (the convergence stand-in for fault workloads).
+    last_checkpoint_correct: bool = False
 
     @property
     def availability(self) -> float:
@@ -136,34 +192,15 @@ def measure_availability(
         sim.run(warmup_interactions)
     sim.observers.append(injector.observe)
 
-    checkpoints = 0
-    available = 0
-    repair_times: list[int] = []
-    # Every burst still awaiting its first correct checkpoint.  Keeping all
-    # of them (not just the latest) is what makes the repair-time sample
-    # one-per-burst: under bursty injection several faults can land before
-    # the protocol recovers, and each owes a measurement.
-    pending_faults: list[int] = []
-    fault_cursor = 0
+    accounting = AvailabilityAccounting()
     remaining = total_interactions
     while remaining > 0:
         burst = min(checkpoint_every, remaining)
         sim.run(burst)
         remaining -= burst
         # Account for any faults injected during the burst.
-        while fault_cursor < len(injector.events):
-            pending_faults.append(injector.events[fault_cursor].interaction)
-            fault_cursor += 1
-        checkpoints += 1
-        if correct(sim.config):
-            available += 1
-            now = sim.metrics.interactions
-            repair_times.extend(now - fault for fault in pending_faults)
-            pending_faults.clear()
-    return AvailabilityReport(
-        interactions=total_interactions,
-        checkpoints=checkpoints,
-        available_checkpoints=available,
-        fault_bursts=len(injector.events),
-        repair_times=repair_times,
+        accounting.note_events(injector.events)
+        accounting.checkpoint(sim.metrics.interactions, correct(sim.config))
+    return accounting.report(
+        total_interactions=total_interactions, fault_bursts=len(injector.events)
     )

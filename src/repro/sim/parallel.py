@@ -57,7 +57,9 @@ class TrialSpec:
 
     The start configuration is (at most) one of ``config`` (state
     objects), ``codes`` (encoded state codes — the cheap currency for
-    finite-state protocols at large ``n``) or ``n`` (clean start).
+    finite-state protocols at large ``n``), ``counts`` (an ``S``-length
+    count vector — ``O(S)`` to build and pickle, the cheapest of all) or
+    ``n`` (clean start).
     """
 
     index: int
@@ -70,6 +72,7 @@ class TrialSpec:
     n: Optional[int] = None
     backend: str = DEFAULT_BACKEND
     codes: Optional[Sequence[int]] = None
+    counts: Optional[Sequence[int]] = None
 
 
 @dataclass
@@ -94,6 +97,7 @@ def run_trial(spec: TrialSpec) -> TrialOutcome:
         check_interval=spec.check_interval,
         backend=spec.backend,
         codes=spec.codes,
+        counts=spec.counts,
     )
     return TrialOutcome(
         index=spec.index,

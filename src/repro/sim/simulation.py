@@ -131,16 +131,34 @@ class Simulation:
         """
         if check_interval < 1:
             raise ValueError("check_interval must be positive")
-        if predicate(self.config):
+        if self.predicate_holds(predicate):
             return self._result(converged=True)
         remaining = max_interactions
         while remaining > 0:
             burst = min(check_interval, remaining)
             self.run_batch(burst)
             remaining -= burst
-            if predicate(self.config):
+            if self.predicate_holds(predicate):
                 return self._result(converged=True)
         return self._result(converged=False)
+
+    def predicate_holds(self, predicate: ConfigPredicate) -> bool:
+        """Evaluate a convergence/correctness predicate on the current state.
+
+        Part of the common engine surface (see :mod:`repro.sim.backends`):
+        each backend evaluates predicates in its cheapest native form —
+        here, simply on the configuration list.
+        """
+        return bool(predicate(self.config))
+
+    def apply_fault(self, model, burst_size: int, generator) -> None:
+        """Inject one fault burst (common engine surface).
+
+        ``model`` is a :class:`repro.sim.fault_engine.FaultModel`; on this
+        backend its per-agent object applier corrupts the configuration
+        list in place, drawing victims and replacements from ``generator``.
+        """
+        model.apply_config(self.protocol, self.config, burst_size, generator)
 
     def _result(self, converged: bool) -> SimulationResult:
         return SimulationResult(
@@ -167,18 +185,21 @@ def make_simulation(
     seed: int = 0,
     backend: Optional[str] = None,
     codes: Optional[Sequence[int]] = None,
+    counts: Optional[Sequence[int]] = None,
 ):
     """Build a simulation on the requested execution backend.
 
     Thin delegate of :func:`repro.sim.backends.make_simulation`: the
     engine is looked up in the backend registry and its factory builds
     the simulation.  Every engine exposes ``run`` / ``run_batch`` /
-    ``run_until`` / ``metrics`` / ``config``.
+    ``run_until`` / ``predicate_holds`` / ``apply_fault`` / ``metrics`` /
+    ``config``.
     """
     from repro.sim import backends
 
     return backends.make_simulation(
-        protocol, config=config, n=n, seed=seed, backend=backend, codes=codes
+        protocol, config=config, n=n, seed=seed, backend=backend, codes=codes,
+        counts=counts,
     )
 
 
@@ -193,10 +214,12 @@ def run_until(
     check_interval: int = 1,
     backend: Optional[str] = None,
     codes: Optional[Sequence[int]] = None,
+    counts: Optional[Sequence[int]] = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :func:`make_simulation`."""
     sim = make_simulation(
-        protocol, config=config, n=n, seed=seed, backend=backend, codes=codes
+        protocol, config=config, n=n, seed=seed, backend=backend, codes=codes,
+        counts=counts,
     )
     return sim.run_until(predicate, max_interactions, check_interval)
 

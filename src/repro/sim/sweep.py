@@ -8,13 +8,17 @@ trials.  This module is that workload, end to end:
 
 * :class:`GridSpec` declares the grid: protocols (``ElectLeader_r`` and
   the baseline suite), population sizes, trade-off parameters, adversary
-  initializers, and fault rates, plus the shared trial budget;
+  initializers, fault rates and fault models (the
+  :mod:`repro.sim.fault_engine` registry), plus the shared trial budget;
 * :func:`expand_grid` expands it into :class:`ScenarioSpec` work items —
   tiny, declarative, trivially picklable records (strings and numbers
   only) with a child seed already derived in the parent, so execution is
   deterministic regardless of which process runs which trial;
 * :func:`run_scenario` materializes one spec inside the worker (protocol,
-  adversarial start, fault injector) and runs it to convergence or budget;
+  adversarial start, fault engine) and runs it to convergence or budget —
+  fault cells run the availability workload on whichever backend the grid
+  names, and their :class:`~repro.sim.faults.AvailabilityReport` outcomes
+  (availability, median repair) are first-class JSONL fields;
 * :func:`run_sweep` streams the specs through
   :func:`repro.sim.parallel.stream_ordered` — outcomes are re-ordered on
   arrival, appended to a JSONL results file as they land, and aggregated
@@ -37,6 +41,8 @@ from __future__ import annotations
 import importlib.util
 import itertools
 import json
+import math
+import statistics
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Callable, Optional, Sequence
@@ -44,8 +50,8 @@ from typing import Any, Callable, Optional, Sequence
 from repro.adversary.initializers import (
     ADVERSARIES,
     CODE_ADVERSARIES,
+    COUNTS_ADVERSARIES,
     code_rng,
-    single_agent_scrambler,
 )
 from repro.baselines.cai_izumi_wada import CaiIzumiWada
 from repro.baselines.loosely_stabilizing import LooselyStabilizingLeaderElection
@@ -56,7 +62,12 @@ from repro.core.protocol import PopulationProtocol
 from repro.scheduler.rng import derive_seed, make_rng
 from repro.sim.backends import DEFAULT_BACKEND, get_backend, make_simulation
 from repro.sim.counts_backend import counts_aware, goal_counts_predicate
-from repro.sim.faults import FaultInjector
+from repro.sim.fault_engine import (
+    DEFAULT_FAULT_MODEL,
+    FAULT_MODELS,
+    FaultEngine,
+    get_fault_model,
+)
 from repro.sim.parallel import stream_ordered
 from repro.sim.simulation import ConfigPredicate
 from repro.sim.trials import TrialSummary
@@ -66,6 +77,9 @@ CLEAN = "clean"
 
 #: Sentinel recorded as ``r`` for protocols without a trade-off parameter.
 NO_R = 0
+
+#: Fault-model sentinel for cells whose fault rate is zero (no injection).
+NO_FAULTS = "none"
 
 #: Derived-seed stream tags (offsets under a spec's child seed).  The
 #: simulation itself uses streams 0 and 1 of its own seed; the adversary
@@ -107,10 +121,12 @@ class ProtocolKind:
     sweep the full ``r`` axis (cells with ``r > n/2`` are skipped,
     mirroring :class:`ProtocolParams`); the rest collapse it to a single
     cell recorded with ``r = 0``.  The object-layout adversary
-    initializers and fault injection scramble ``ElectLeader`` state
-    layouts specifically, so only ``elect_leader`` supports them;
+    initializers scramble ``ElectLeader`` state layouts specifically, so
+    only ``elect_leader`` supports them (``supports_faults`` marks the
+    same layout affinity for the object-layout fault scrambler);
     ``finite_state`` protocols instead support the code-space adversary
-    suite (``CODE_ADVERSARIES``) on every backend.  Which *backends* can
+    suite (``CODE_ADVERSARIES``) and the code-space fault models
+    (:mod:`repro.sim.fault_engine`) on every backend.  Which *backends* can
     run a protocol is not declared here — :class:`GridSpec` asks the
     backend registry (:func:`repro.sim.backends.get_backend`) via a small
     probe instance.
@@ -190,10 +206,12 @@ def _probe_protocol(kind: ProtocolKind) -> PopulationProtocol:
 class GridSpec:
     """A Cartesian scenario grid plus the shared per-trial budget.
 
-    Axis order is fixed — ``protocol × n × r × adversary × fault_rate``,
-    then ``trials`` trials per cell — and expansion is deterministic, so
-    a grid's global trial indices (and therefore its derived seeds and
-    its JSONL checkpoint) are stable across runs and processes.
+    Axis order is fixed — ``protocol × n × r × adversary × fault_rate ×
+    fault_model``, then ``trials`` trials per cell — and expansion is
+    deterministic, so a grid's global trial indices (and therefore its
+    derived seeds and its JSONL checkpoint) are stable across runs and
+    processes.  The ``fault_models`` axis only matters for cells with a
+    positive fault rate; zero-rate cells collapse it to :data:`NO_FAULTS`.
     """
 
     ns: tuple[int, ...]
@@ -206,6 +224,7 @@ class GridSpec:
     max_interactions: int = 20_000_000
     check_interval: int = 1_000
     backend: str = DEFAULT_BACKEND
+    fault_models: tuple[str, ...] = (DEFAULT_FAULT_MODEL,)
 
     def __post_init__(self) -> None:
         try:
@@ -215,9 +234,22 @@ class GridSpec:
         for name, values in (
             ("protocols", self.protocols), ("ns", self.ns), ("rs", self.rs),
             ("adversaries", self.adversaries), ("fault_rates", self.fault_rates),
+            ("fault_models", self.fault_models),
         ):
             if not values:
                 raise SweepError(f"grid axis '{name}' must be non-empty")
+        for model in self.fault_models:
+            if model not in FAULT_MODELS:
+                known = ", ".join(FAULT_MODELS)
+                raise SweepError(f"unknown fault model '{model}' (known: {known})")
+        if any(rate > 0 for rate in self.fault_rates) and not _numpy_available():
+            # The fault engine's burst schedule and corruption laws draw
+            # from numpy PCG64 streams on every backend; fail at grid
+            # construction rather than mid-sweep in a worker.
+            raise SweepError(
+                "fault injection (fault_rates > 0) requires numpy "
+                "(pip install repro-podc25-leader-election[array])"
+            )
         for protocol in self.protocols:
             if protocol not in PROTOCOLS:
                 known = ", ".join(sorted(PROTOCOLS))
@@ -264,7 +296,7 @@ class GridSpec:
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "GridSpec":
         kwargs = dict(data)
-        for key in ("protocols", "ns", "rs", "adversaries", "fault_rates"):
+        for key in ("protocols", "ns", "rs", "adversaries", "fault_rates", "fault_models"):
             if key in kwargs:
                 kwargs[key] = tuple(kwargs[key])
         return cls(**kwargs)
@@ -291,23 +323,37 @@ class ScenarioSpec:
     max_interactions: int
     check_interval: int
     backend: str = DEFAULT_BACKEND  # execution engine, resolved in the parent
+    fault_model: str = NO_FAULTS  # corruption law for fault_rate > 0 cells
 
     @property
-    def scenario_key(self) -> tuple[str, int, int, str, float]:
+    def scenario_key(self) -> tuple[str, int, int, str, float, str]:
         """The grid-cell identity (everything but trial/index/seed)."""
-        return (self.protocol, self.n, self.r, self.adversary, self.fault_rate)
+        return (
+            self.protocol, self.n, self.r, self.adversary,
+            self.fault_rate, self.fault_model,
+        )
 
     @property
     def scenario_id(self) -> str:
         return (
             f"{self.protocol}/n={self.n}/r={self.r}"
             f"/adv={self.adversary}/fault={self.fault_rate:g}"
+            f"/model={self.fault_model}"
         )
 
 
 @dataclass(frozen=True)
 class ScenarioOutcome:
-    """The per-trial result row appended to the JSONL stream."""
+    """The per-trial result row appended to the JSONL stream.
+
+    Fault cells (``fault_rate > 0``) run the availability workload and
+    carry its first-class outcomes: ``availability`` (fraction of correct
+    checkpoints over the full budget), ``median_repair`` (interactions
+    from each burst to the first correct checkpoint after it; ``None``
+    when no repair was ever observed), with ``converged`` meaning
+    "correct at the final checkpoint".  Fault-free cells leave both at
+    ``None`` and keep the run-to-convergence semantics.
+    """
 
     index: int
     protocol: str
@@ -322,6 +368,9 @@ class ScenarioOutcome:
     parallel_time: float
     fault_bursts: int = 0
     backend: str = DEFAULT_BACKEND
+    fault_model: str = NO_FAULTS
+    availability: Optional[float] = None
+    median_repair: Optional[float] = None
 
     def to_record(self) -> dict[str, Any]:
         record: dict[str, Any] = {"kind": _TRIAL_KIND}
@@ -336,6 +385,9 @@ class ScenarioOutcome:
         )}
         fields["fault_bursts"] = record.get("fault_bursts", 0)
         fields["backend"] = record.get("backend", DEFAULT_BACKEND)
+        fields["fault_model"] = record.get("fault_model", NO_FAULTS)
+        fields["availability"] = record.get("availability")
+        fields["median_repair"] = record.get("median_repair")
         return cls(**fields)
 
 
@@ -352,9 +404,10 @@ def expand_grid(grid: GridSpec) -> list[ScenarioSpec]:
     grids stay expressible.  Raises if nothing survives.
     """
     specs: list[ScenarioSpec] = []
-    seen_cells: set[tuple[str, int, int, str, float]] = set()
-    for protocol, n, r, adversary, fault_rate in itertools.product(
-        grid.protocols, grid.ns, grid.rs, grid.adversaries, grid.fault_rates
+    seen_cells: set[tuple[str, int, int, str, float, str]] = set()
+    for protocol, n, r, adversary, fault_rate, fault_model in itertools.product(
+        grid.protocols, grid.ns, grid.rs, grid.adversaries,
+        grid.fault_rates, grid.fault_models,
     ):
         kind = PROTOCOLS[protocol]
         if kind.uses_r:
@@ -369,10 +422,20 @@ def expand_grid(grid: GridSpec) -> list[ScenarioSpec]:
                 adversary = CLEAN
         elif not kind.supports_adversaries:
             adversary = CLEAN
-        if not kind.supports_faults:
+        # Fault injection runs wherever some corruption law speaks the
+        # protocol: the object-layout scrambler (supports_faults) or the
+        # code-space fault models (finite_state).  Cells pairing a model
+        # with a protocol it cannot corrupt (e.g. kill_leaders on the
+        # encoding-less elect_leader) are skipped, mirroring the r > n/2
+        # rule; zero-rate cells collapse the model axis entirely.
+        if not (kind.supports_faults or kind.finite_state):
             fault_rate = 0.0
-        cell = (protocol, n, r, adversary, fault_rate)
-        if cell in seen_cells:  # collapsed r axis revisits the same cell
+        if fault_rate == 0.0:
+            fault_model = NO_FAULTS
+        elif get_fault_model(fault_model).supports(_probe_protocol(kind)) is not None:
+            continue
+        cell = (protocol, n, r, adversary, fault_rate, fault_model)
+        if cell in seen_cells:  # collapsed axes revisit the same cell
             continue
         seen_cells.add(cell)
         for trial in range(grid.trials):
@@ -390,6 +453,7 @@ def expand_grid(grid: GridSpec) -> list[ScenarioSpec]:
                     max_interactions=grid.max_interactions,
                     check_interval=grid.check_interval,
                     backend=grid.backend,
+                    fault_model=fault_model,
                 )
             )
     if not specs:
@@ -410,41 +474,69 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
 
     Everything stochastic draws from streams derived from ``spec.seed``:
     the simulation's scheduler/transition streams, the adversary's
-    configuration stream, and the fault injector's burst stream — so the
-    outcome is a pure function of the spec.
+    configuration stream, and the fault engine's schedule/corruption
+    streams — so the outcome is a pure function of the spec.
+
+    Fault cells run the backend-generic availability workload
+    (:meth:`repro.sim.fault_engine.FaultEngine.measure_availability`) for
+    the full interaction budget, sampling the cell's convergence
+    predicate every ``check_interval`` interactions; fault-free cells run
+    to convergence as before.
     """
     kind = PROTOCOLS[spec.protocol]
     protocol, predicate = kind.build(spec.n, spec.r)
     config = None
     codes = None
+    counts = None
     if spec.adversary in CODE_ADVERSARIES:
         # Code-space adversaries draw from a PCG64 stream on the same
-        # derived seed, emit state codes, and feed every backend alike
-        # (make_simulation translates codes to the engine's native form).
+        # derived seed and feed every backend alike.  A counts-native
+        # engine (per the backend registry) gets the O(S) count-vector
+        # twin of the same law; everyone else gets the state-code form
+        # (make_simulation translates it to the engine's native shape).
         generator = code_rng(derive_seed(spec.seed, _ADVERSARY_STREAM))
-        codes = CODE_ADVERSARIES[spec.adversary](protocol, generator, spec.n)
+        if get_backend(spec.backend).counts_native and spec.adversary in COUNTS_ADVERSARIES:
+            counts = COUNTS_ADVERSARIES[spec.adversary](protocol, generator, spec.n)
+        else:
+            codes = CODE_ADVERSARIES[spec.adversary](protocol, generator, spec.n)
     elif spec.adversary != CLEAN:
         adversary_rng = make_rng(derive_seed(spec.seed, _ADVERSARY_STREAM))
         config = ADVERSARIES[spec.adversary](protocol, adversary_rng)
+    explicit_start = config is not None or codes is not None or counts is not None
     sim = make_simulation(
-        protocol, config=config, codes=codes,
-        n=spec.n if (config is None and codes is None) else None,
+        protocol, config=config, codes=codes, counts=counts,
+        n=None if explicit_start else spec.n,
         seed=spec.seed, backend=spec.backend,
     )
-    injector: Optional[FaultInjector] = None
+    availability: Optional[float] = None
+    median_repair: Optional[float] = None
+    fault_bursts = 0
     if spec.fault_rate > 0:
-        # Fault injection needs per-interaction observers, which only the
-        # object engine has; the only faults-capable protocol
-        # (elect_leader) fails the vectorized engines' capability check in
-        # GridSpec validation, so this branch always has observers.
-        injector = FaultInjector(
-            single_agent_scrambler(protocol),
+        engine = FaultEngine(
+            get_fault_model(spec.fault_model),
+            protocol,
+            n=spec.n,
             rate=spec.fault_rate,
             burst_size=1,
-            rng=make_rng(derive_seed(spec.seed, _FAULT_STREAM)),
+            seed=derive_seed(spec.seed, _FAULT_STREAM),
         )
-        sim.observers.append(injector.observe)
-    result = sim.run_until(predicate, spec.max_interactions, spec.check_interval)
+        report = engine.measure_availability(
+            sim, predicate,
+            total_interactions=spec.max_interactions,
+            checkpoint_every=spec.check_interval,
+        )
+        fault_bursts = report.fault_bursts
+        availability = round(report.availability, 6)
+        repair = report.median_repair_interactions
+        median_repair = None if math.isnan(repair) else float(repair)
+        converged = report.last_checkpoint_correct
+        interactions = spec.max_interactions
+        parallel_time = interactions / spec.n
+    else:
+        result = sim.run_until(predicate, spec.max_interactions, spec.check_interval)
+        converged = result.converged
+        interactions = result.interactions
+        parallel_time = result.parallel_time
     return ScenarioOutcome(
         index=spec.index,
         protocol=spec.protocol,
@@ -454,11 +546,14 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
         fault_rate=spec.fault_rate,
         trial=spec.trial,
         seed=spec.seed,
-        converged=result.converged,
-        interactions=result.interactions,
-        parallel_time=result.parallel_time,
-        fault_bursts=len(injector.events) if injector else 0,
+        converged=converged,
+        interactions=interactions,
+        parallel_time=parallel_time,
+        fault_bursts=fault_bursts,
         backend=spec.backend,
+        fault_model=spec.fault_model,
+        availability=availability,
+        median_repair=median_repair,
     )
 
 
@@ -517,12 +612,29 @@ def load_checkpoint(
         raise SweepError(f"{path}: unsupported checkpoint version {meta.get('version')}")
     stored_grid = meta.get("grid")
     if isinstance(stored_grid, dict):
-        # Checkpoints written before the backend knob existed carry no
-        # "backend" key; they are object-backend files, so defaulting the
-        # key (mirroring ScenarioOutcome.from_record) keeps them
-        # resumable instead of rejecting them as "a different grid".
+        # Checkpoints written before the backend / fault-model knobs
+        # existed carry no "backend"/"fault_models" keys; they are
+        # object-backend, default-model files, so defaulting the keys
+        # (mirroring ScenarioOutcome.from_record) keeps them resumable
+        # instead of rejecting them as "a different grid".
         stored_grid = dict(stored_grid)
         stored_grid.setdefault("backend", DEFAULT_BACKEND)
+        if "fault_models" not in stored_grid:
+            # One exception: pre-fault-engine counts-backend cells with
+            # code-space adversaries drew the O(n) codes form; this
+            # version draws the O(S) counts twin (same law, different
+            # realization).  Resuming such a file would silently mix two
+            # start-configuration streams, so refuse it instead.
+            if get_backend(grid.backend).counts_native and any(
+                adversary in COUNTS_ADVERSARIES for adversary in grid.adversaries
+            ):
+                raise SweepError(
+                    f"{path}: checkpoint predates the fault-engine schema and its "
+                    "counts-backend adversarial cells used the codes-form start "
+                    "law; finish it with the version that wrote it or start a "
+                    "fresh output file"
+                )
+            stored_grid["fault_models"] = [DEFAULT_FAULT_MODEL]
     if stored_grid != grid.to_dict():
         raise SweepError(
             f"{path}: checkpoint was written for a different grid; "
@@ -547,6 +659,7 @@ def load_checkpoint(
             or outcome.adversary != spec.adversary
             or outcome.fault_rate != spec.fault_rate
             or outcome.backend != spec.backend
+            or outcome.fault_model != spec.fault_model
         ):
             raise SweepError(
                 f"{path}: trial record {outcome.index} does not match the grid "
@@ -589,20 +702,26 @@ def aggregate_rows(
 
     Outcomes are consumed in global index order (the caller guarantees
     it), so the aggregates — medians, the nearest-rank p95, success rates
-    — are bit-identical to a sequential run for any worker count.
+    — are bit-identical to a sequential run for any worker count.  Fault
+    cells additionally aggregate the availability workload's first-class
+    outcomes: median availability and the median of per-trial median
+    repair times (``"-"`` on fault-free cells).
     """
-    order: list[tuple[str, int, int, str, float]] = []
-    cells: dict[tuple[str, int, int, str, float], list[ScenarioOutcome]] = {}
+    order: list[tuple[str, int, int, str, float, str]] = []
+    cells: dict[tuple[str, int, int, str, float, str], list[ScenarioOutcome]] = {}
     for spec in specs:
         if spec.scenario_key not in cells:
             order.append(spec.scenario_key)
             cells[spec.scenario_key] = []
     for outcome in outcomes:
-        key = (outcome.protocol, outcome.n, outcome.r, outcome.adversary, outcome.fault_rate)
+        key = (
+            outcome.protocol, outcome.n, outcome.r, outcome.adversary,
+            outcome.fault_rate, outcome.fault_model,
+        )
         cells[key].append(outcome)
     rows = []
     for key in order:
-        protocol, n, r, adversary, fault_rate = key
+        protocol, n, r, adversary, fault_rate, fault_model = key
         group = cells[key]
         converged = [o for o in group if o.converged]
         summary = TrialSummary(
@@ -613,6 +732,8 @@ def aggregate_rows(
             interactions=[float(o.interactions) for o in converged],
             parallel_times=[o.parallel_time for o in converged],
         )
+        availabilities = [o.availability for o in group if o.availability is not None]
+        repairs = [o.median_repair for o in group if o.median_repair is not None]
         rows.append(
             {
                 "protocol": protocol,
@@ -620,11 +741,18 @@ def aggregate_rows(
                 "r": r if r != NO_R else "-",
                 "adversary": adversary,
                 "fault_rate": f"{fault_rate:g}",
+                "fault_model": fault_model if fault_model != NO_FAULTS else "-",
                 "trials": summary.trials,
                 "success_rate": round(summary.success_rate, 3),
                 "median_interactions": summary.median_interactions,
                 "median_time": round(summary.median_time, 2),
                 "p95_time": round(summary.p95_time, 2),
+                "availability": (
+                    round(statistics.median(availabilities), 3) if availabilities else "-"
+                ),
+                "median_repair": (
+                    round(statistics.median(repairs), 1) if repairs else "-"
+                ),
             }
         )
     return rows

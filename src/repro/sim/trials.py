@@ -34,6 +34,11 @@ ConfigFactory = Callable[[int], Optional[list[Any]]]
 #: at large n (no state objects are materialized or pickled).
 CodesFactory = Callable[[int], Optional[Sequence[int]]]
 
+#: Builds a fresh count-vector start for trial ``index`` — the O(S)
+#: alternative to CodesFactory for counts-native workloads: specs carry an
+#: S-length vector no matter how large n grows.
+CountsFactory = Callable[[int], Optional[Sequence[int]]]
+
 
 @dataclass
 class TrialSummary:
@@ -97,6 +102,7 @@ def run_trials(
     check_interval: int = 1,
     config_factory: Optional[ConfigFactory] = None,
     codes_factory: Optional[CodesFactory] = None,
+    counts_factory: Optional[CountsFactory] = None,
     label: str = "",
     workers: Optional[int] = 1,
     backend: Optional[str] = None,
@@ -118,6 +124,10 @@ def run_trials(
     (finite-state protocols only) — specs then carry a small integer
     array rather than ``n`` state objects, which is what keeps
     ``n ≥ 10⁶`` counts-backend trials cheap to build and pickle.
+    ``counts_factory`` builds it as an ``S``-length count vector — the
+    ``O(S)`` form the counts backend consumes natively (other backends
+    expand it); at ``n = 10⁶`` a spec then carries a few hundred integers
+    instead of a million.
 
     ``backend`` names a registered execution engine
     (:mod:`repro.sim.backends`; ``None`` resolves ``$REPRO_BENCH_BACKEND``,
@@ -129,12 +139,17 @@ def run_trials(
     cannot disagree with their parent about which engine ran.
     """
     engine = resolve_backend(backend)
-    if config_factory is not None and codes_factory is not None:
-        raise ValueError("provide at most one of config_factory and codes_factory")
+    factories = (config_factory, codes_factory, counts_factory)
+    if sum(factory is not None for factory in factories) > 1:
+        raise ValueError(
+            "provide at most one of config_factory, codes_factory and counts_factory"
+        )
 
     def build_spec(index: int) -> TrialSpec:
         config = config_factory(index) if config_factory is not None else None
         codes = codes_factory(index) if codes_factory is not None else None
+        counts = counts_factory(index) if counts_factory is not None else None
+        explicit_start = config is not None or codes is not None or counts is not None
         return TrialSpec(
             index=index,
             protocol=protocol,
@@ -143,9 +158,10 @@ def run_trials(
             max_interactions=max_interactions,
             check_interval=check_interval,
             config=config,
-            n=None if (config is not None or codes is not None) else n,
+            n=None if explicit_start else n,
             backend=engine,
             codes=codes,
+            counts=counts,
         )
 
     # A generator keeps the sequential path at O(one config) peak memory:

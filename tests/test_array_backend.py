@@ -337,6 +337,45 @@ class TestArraySimulation:
         )
         assert result.converged and result.interactions == 0
 
+    def test_counts_aware_predicates_take_the_bincount_fast_path(self):
+        # Satellite of the fault-engine PR: run_until must answer
+        # counts-aware predicates from one bincount per check, never by
+        # decoding n state objects.
+        from repro.sim.counts_backend import counts_aware
+
+        protocol = PairwiseElimination(12)
+        calls = {"config": 0, "counts": 0}
+
+        def on_config(config):
+            calls["config"] += 1
+            return protocol.is_goal_configuration(config)
+
+        def on_counts(counts):
+            calls["counts"] += 1
+            assert int(counts.sum()) == 12
+            return protocol.goal_counts(counts)
+
+        sim = ArraySimulation(protocol, n=12, seed=0)
+        result = sim.run_until(
+            counts_aware(on_config, on_counts),
+            max_interactions=100_000,
+            check_interval=32,
+        )
+        assert result.converged
+        assert calls["counts"] > 0
+        assert calls["config"] == 0
+        assert protocol.is_goal_configuration(sim.config)
+
+    def test_predicate_holds_agrees_with_config_form(self):
+        from repro.sim.counts_backend import goal_counts_predicate
+
+        protocol = CaiIzumiWada(BaselineParams(n=12))
+        sim = ArraySimulation(protocol, n=12, seed=3)
+        predicate = goal_counts_predicate(protocol)
+        for _ in range(20):
+            assert sim.predicate_holds(predicate) == bool(predicate(sim.config))
+            sim.run_batch(50)
+
     def test_run_until_budget_and_quantization(self):
         protocol = PairwiseElimination(10)
         result = ArraySimulation(protocol, n=10, seed=1).run_until(

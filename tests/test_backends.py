@@ -63,7 +63,7 @@ class TestRegistry:
         """The extension contract: register → every entry point sees it."""
         calls = {}
 
-        def factory(protocol, *, config=None, n=None, seed=0, codes=None):
+        def factory(protocol, *, config=None, n=None, seed=0, codes=None, counts=None):
             calls["built"] = True
             return Simulation(protocol, config=config, n=n, seed=seed)
 
@@ -82,6 +82,14 @@ class TestRegistry:
         original = get_backend("object")
         register_backend(original, replace=True)  # no-op re-registration
         assert get_backend("object") is original
+
+    def test_counts_native_flags(self):
+        # The counts engine is the only one whose native configuration is
+        # a count vector — the flag callers use to pick an adversary's
+        # O(S) twin without naming backends.
+        assert get_backend("counts").counts_native
+        assert not get_backend("object").counts_native
+        assert not get_backend("array").counts_native
 
 
 class TestResolution:
@@ -154,12 +162,44 @@ class TestMakeSimulation:
         assert array_sim.codes.tolist() == codes
         assert counts_sim.counts.tolist() == np.bincount(codes, minlength=2).tolist()
 
-    def test_config_and_codes_are_exclusive(self):
+    def test_counts_reach_every_engine_identically(self):
+        np = pytest.importorskip("numpy")
+        from repro.sim.counts_backend import CountsSimulation
+
+        protocol = PairwiseElimination(8)
+        counts = [5, 3]
+        object_sim = make_simulation(protocol, counts=counts, backend="object")
+        array_sim = make_simulation(protocol, counts=counts, backend="array")
+        counts_sim = make_simulation(protocol, counts=counts, backend="counts")
+        assert isinstance(counts_sim, CountsSimulation)
+        assert sorted(protocol.encode_state(s) for s in object_sim.config) == \
+            [0] * 5 + [1] * 3
+        assert np.sort(array_sim.codes).tolist() == [0] * 5 + [1] * 3
+        assert counts_sim.counts.tolist() == counts
+
+    def test_counts_expand_to_fresh_objects_on_the_object_engine(self):
+        # The object engine mutates states in place, so the expansion must
+        # never alias two agents to one decoded object (the counts
+        # backend's shared-object expansion is read-only-safe only).
+        protocol = PairwiseElimination(6)
+        sim = make_simulation(protocol, counts=[0, 6], backend="object")
+        assert len({id(state) for state in sim.config}) == 6
+
+    def test_counts_length_is_validated(self):
+        pytest.importorskip("numpy")
+        protocol = PairwiseElimination(8)
+        for backend in ("object", "array", "counts"):
+            with pytest.raises((ValueError, RuntimeError)):
+                make_simulation(protocol, counts=[1, 2, 3], backend=backend)
+
+    def test_config_codes_and_counts_are_exclusive(self):
         protocol = PairwiseElimination(8)
         with pytest.raises(ValueError, match="at most one"):
             make_simulation(
                 protocol, config=protocol.clean_configuration(8), codes=[0] * 8
             )
+        with pytest.raises(ValueError, match="at most one"):
+            make_simulation(protocol, codes=[0] * 8, counts=[8, 0])
 
 
 class TestNoHardcodedDispatch:

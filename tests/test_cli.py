@@ -150,6 +150,37 @@ class TestSweepCommand:
 
         assert strip(tables[0]) == strip(tables[1])
 
+    def test_sweep_fault_model_axis(self, capsys, tmp_path):
+        pytest.importorskip("numpy")
+        out = tmp_path / "faults.jsonl"
+        args = [
+            "sweep", "--protocols", "loosely_stabilizing", "--ns", "16",
+            "--adversaries", "clean", "--fault-rates", "0", "0.5",
+            "--fault-model", "scramble_burst", "kill_leaders",
+            "--trials", "2", "--seed", "3", "--backend", "counts",
+            "--max-interactions", "40000", "--batch", "500", "--no-progress",
+            "--out", str(out),
+        ]
+        code = main(args)
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "availability" in stdout
+        assert "kill_leaders" in stdout
+        blob = out.read_text()
+        assert '"fault_model":"scramble_burst"' in blob
+        assert '"availability":' in blob
+        # Resume of the finished sweep is a no-op with identical bytes.
+        assert main([*args, "--resume"]) == 0
+        assert out.read_text() == blob
+
+    def test_sweep_rejects_unknown_fault_model(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "sweep", "--protocols", "loosely_stabilizing", "--ns", "16",
+                "--fault-model", "bogus", "--no-progress",
+                "--out", str(tmp_path / "x.jsonl"),
+            ])
+
     def test_sweep_array_backend(self, capsys, tmp_path):
         pytest.importorskip("numpy")
         out = tmp_path / "array.jsonl"

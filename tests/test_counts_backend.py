@@ -346,6 +346,63 @@ class TestCountsSimulation:
         assert not protocol.goal_counts(np.array([1, 4]))
 
 
+class TestSilenceDetection:
+    """Counts-level silence: provably-no-op batches are skipped in O(S²)."""
+
+    def test_saturated_epidemic_is_silent(self):
+        protocol = EpidemicProtocol()
+        sim = CountsSimulation(protocol, counts=[0, 64], seed=0)
+        assert sim.configuration_is_silent()
+        sim2 = CountsSimulation(protocol, counts=[1, 63], seed=0)
+        assert not sim2.configuration_is_silent()
+
+    def test_single_occupancy_diagonal_is_exempt(self):
+        # One leader + followers: the only non-inert pair (L, L) needs two
+        # leaders, so the configuration is silent — exactly the converged
+        # state of pairwise elimination.
+        protocol = PairwiseElimination(16)
+        assert CountsSimulation(protocol, counts=[15, 1], seed=0).configuration_is_silent()
+        assert not CountsSimulation(protocol, counts=[14, 2], seed=0).configuration_is_silent()
+
+    def test_ciw_permutation_is_silent_below_the_cap(self):
+        protocol = CaiIzumiWada(BaselineParams(n=32))
+        permutation = np.ones(32, dtype=np.int64)
+        assert CountsSimulation(protocol, counts=permutation, seed=0).configuration_is_silent()
+        duplicated = permutation.copy()
+        duplicated[0], duplicated[1] = 2, 0
+        assert not CountsSimulation(
+            protocol, counts=duplicated, seed=0
+        ).configuration_is_silent()
+
+    def test_cap_returns_the_safe_answer(self):
+        from repro.sim.counts_backend import MAX_SILENCE_STATES
+
+        n = MAX_SILENCE_STATES + 8
+        protocol = CaiIzumiWada(BaselineParams(n=n))
+        sim = CountsSimulation(protocol, counts=np.ones(n, dtype=np.int64), seed=0)
+        # Genuinely silent, but above the occupied-state cap the check
+        # declines (False is always safe — the sampler just runs).
+        assert not sim.configuration_is_silent()
+
+    def test_silent_batches_skip_but_count(self):
+        protocol = EpidemicProtocol()
+        sim = CountsSimulation(protocol, counts=[0, 128], seed=7)
+        state_before = sim._generator.bit_generator.state
+        sim.run_batch(100_000)
+        assert sim.metrics.interactions == 100_000
+        assert sim.counts.tolist() == [0, 128]
+        # The skip consumes no randomness — the batch was proven a no-op.
+        assert sim._generator.bit_generator.state == state_before
+
+    def test_pair_oracle_never_skips(self):
+        protocol = EpidemicProtocol()
+        sim = CountsSimulation(protocol, counts=[0, 16], seed=7, batching="pair")
+        state_before = sim._generator.bit_generator.state
+        sim.run_batch(10)
+        assert sim._generator.bit_generator.state != state_before
+        assert sim.counts.tolist() == [0, 16]
+
+
 class TestModesAgree:
     def test_n2_forced_collisions_exact(self):
         # With two agents every run is one interaction and every second

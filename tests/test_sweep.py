@@ -17,6 +17,7 @@ import pytest
 
 from repro.sim.sweep import (
     CLEAN,
+    NO_FAULTS,
     NO_R,
     GridSpec,
     SweepError,
@@ -91,14 +92,56 @@ class TestExpandGrid:
             ns=(8,),
             rs=(1, 2, 4),
             adversaries=(CLEAN, "random_soup"),
-            fault_rates=(0.0, 0.5),
+            fault_rates=(0.0,),
         )
         specs = expand_grid(grid)
-        # One collapsed cell (r, adversary and fault axes all pinned).
+        # One collapsed cell (r and adversary axes both pinned; the
+        # object-layout adversary suite doesn't speak this protocol).
         assert len(specs) == grid.trials
         assert all(spec.r == NO_R for spec in specs)
         assert all(spec.adversary == CLEAN for spec in specs)
         assert all(spec.fault_rate == 0.0 for spec in specs)
+        assert all(spec.fault_model == NO_FAULTS for spec in specs)
+
+    def test_finite_state_protocols_keep_the_fault_axis(self):
+        # Since the backend-generic fault engine, finite-state protocols
+        # run the code-space fault models: the fault axis no longer
+        # collapses for them (it used to pin rate 0).
+        grid = small_grid(
+            protocols=("pairwise_elimination",),
+            ns=(8,),
+            rs=(1,),
+            adversaries=(CLEAN,),
+            fault_rates=(0.0, 0.5),
+            fault_models=("scramble_burst", "crash_reset"),
+        )
+        specs = expand_grid(grid)
+        cells = {(spec.fault_rate, spec.fault_model) for spec in specs}
+        assert cells == {
+            (0.0, NO_FAULTS),
+            (0.5, "scramble_burst"),
+            (0.5, "crash_reset"),
+        }
+
+    def test_unsupported_fault_model_cells_are_skipped(self):
+        # kill_leaders needs a finite encoding; elect_leader has none, so
+        # its fault cells survive only under models with an object-layout
+        # leg (scramble_burst wraps the classic scrambler).
+        grid = small_grid(
+            protocols=("elect_leader",),
+            ns=(8,),
+            adversaries=(CLEAN,),
+            fault_rates=(0.0, 0.5),
+            fault_models=("scramble_burst", "kill_leaders"),
+            max_interactions=20_000,
+        )
+        specs = expand_grid(grid)
+        cells = {(spec.fault_rate, spec.fault_model) for spec in specs}
+        assert cells == {(0.0, NO_FAULTS), (0.5, "scramble_burst")}
+
+    def test_unknown_fault_model_is_rejected(self):
+        with pytest.raises(SweepError, match="unknown fault model"):
+            small_grid(fault_models=("nope",))
 
     def test_empty_expansion_raises(self):
         with pytest.raises(SweepError, match="no runnable scenarios"):
@@ -378,6 +421,151 @@ class TestCodeAdversaries:
             10,
         ).tolist()
         assert reference == again
+
+
+class TestFaultCells:
+    """Fault cells run the availability workload on any backend."""
+
+    def fault_grid(self, **overrides):
+        settings = dict(
+            protocols=("loosely_stabilizing",),
+            ns=(16,),
+            adversaries=(CLEAN,),
+            fault_rates=(0.0, 0.5),
+            fault_models=("scramble_burst", "kill_leaders"),
+            trials=2,
+            seed=3,
+            max_interactions=40_000,
+            check_interval=500,
+        )
+        settings.update(overrides)
+        return small_grid(**settings)
+
+    def test_availability_fields_are_first_class(self):
+        pytest.importorskip("numpy")
+        from repro.sim.sweep import ScenarioOutcome
+
+        specs = expand_grid(self.fault_grid())
+        fault_spec = next(spec for spec in specs if spec.fault_rate > 0)
+        outcome = run_scenario(fault_spec)
+        assert outcome.fault_model == fault_spec.fault_model
+        assert outcome.fault_bursts > 0
+        assert outcome.availability is not None
+        assert 0.0 <= outcome.availability <= 1.0
+        # Fault cells run the full budget; convergence means "correct at
+        # the final checkpoint".
+        assert outcome.interactions == fault_spec.max_interactions
+        record = outcome.to_record()
+        assert {"fault_model", "availability", "median_repair"} <= set(record)
+        assert ScenarioOutcome.from_record(record) == outcome
+
+    def test_fault_free_cells_leave_availability_unset(self):
+        specs = expand_grid(self.fault_grid(fault_rates=(0.0,)))
+        outcome = run_scenario(specs[0])
+        assert outcome.availability is None
+        assert outcome.median_repair is None
+        assert outcome.fault_model == NO_FAULTS
+
+    @pytest.mark.parametrize("backend", ["object", "array", "counts"])
+    def test_fault_cells_run_on_every_backend(self, backend):
+        pytest.importorskip("numpy")
+        grid = self.fault_grid(
+            fault_rates=(0.5,), fault_models=("crash_reset",), trials=1,
+            backend=backend,
+        )
+        outcome = run_scenario(expand_grid(grid)[0])
+        assert outcome.backend == backend
+        assert outcome.fault_bursts > 0
+        assert outcome.availability is not None
+
+    def test_elect_leader_fault_cells_still_run(self):
+        pytest.importorskip("numpy")
+        grid = self.fault_grid(
+            protocols=("elect_leader",), ns=(8,), rs=(2,),
+            fault_rates=(0.5,), fault_models=("scramble_burst",), trials=1,
+            max_interactions=20_000,
+        )
+        outcome = run_scenario(expand_grid(grid)[0])
+        assert outcome.fault_bursts > 0
+        assert outcome.availability is not None
+
+    def test_fault_axis_resume_byte_identical(self, tmp_path):
+        pytest.importorskip("numpy")
+        grid = self.fault_grid(backend="counts")
+        full = tmp_path / "full.jsonl"
+        result = run_sweep(grid, workers=1, jsonl_path=full)
+        full_bytes = full.read_bytes()
+        assert b'"fault_model":"kill_leaders"' in full_bytes
+        resumed = tmp_path / "resumed.jsonl"
+        resumed.write_bytes(full_bytes[: len(full_bytes) // 3])
+        again = run_sweep(grid, workers=2, jsonl_path=resumed, resume=True)
+        assert resumed.read_bytes() == full_bytes
+        assert again.resumed_trials > 0
+        fault_rows = [row for row in result.rows if row["fault_model"] != "-"]
+        assert fault_rows
+        assert all(row["availability"] != "-" for row in fault_rows)
+
+
+class TestCountsNativeAdversaries:
+    """Counts-native backends draw the O(S) adversary twin (satellite leg)."""
+
+    def scramble_grid(self, backend):
+        return small_grid(
+            protocols=("cai_izumi_wada",), ns=(10,), adversaries=("scramble",),
+            trials=1, backend=backend,
+        )
+
+    def test_counts_backend_draws_the_counts_twin(self, monkeypatch):
+        pytest.importorskip("numpy")
+        from repro.adversary.initializers import COUNTS_ADVERSARIES, scrambled_counts
+
+        calls: list[int] = []
+
+        def recording(protocol, generator, n):
+            calls.append(n)
+            return scrambled_counts(protocol, generator, n)
+
+        monkeypatch.setitem(COUNTS_ADVERSARIES, "scramble", recording)
+        outcome = run_scenario(expand_grid(self.scramble_grid("counts"))[0])
+        assert calls == [10]
+        assert outcome.converged
+
+    def test_legacy_counts_scramble_checkpoint_refuses_resume(self, tmp_path):
+        # A pre-fault-engine checkpoint (no "fault_models" grid key) for a
+        # counts-backend grid with code-space adversaries drew the codes
+        # form; this version draws the counts twin, so resuming would mix
+        # two start laws in one file — refuse rather than blend.
+        pytest.importorskip("numpy")
+        grid = self.scramble_grid("counts")
+        path = tmp_path / "legacy.jsonl"
+        run_sweep(grid, workers=1, jsonl_path=path)
+        lines = path.read_text().splitlines()
+        meta = json.loads(lines[0])
+        meta["grid"].pop("fault_models")
+        legacy_trials = []
+        for line in lines[1:]:
+            record = json.loads(line)
+            for key in ("fault_model", "availability", "median_repair"):
+                record.pop(key)
+            legacy_trials.append(json.dumps(record, separators=(",", ":")))
+        path.write_text(
+            "\n".join([json.dumps(meta, separators=(",", ":")), *legacy_trials[:0]])
+            + "\n"
+        )
+        with pytest.raises(SweepError, match="codes-form start law"):
+            run_sweep(grid, workers=1, jsonl_path=path, resume=True)
+
+    def test_other_backends_draw_the_codes_form(self, monkeypatch):
+        pytest.importorskip("numpy")
+        from repro.adversary.initializers import COUNTS_ADVERSARIES
+
+        def explode(protocol, generator, n):  # pragma: no cover - guard
+            raise AssertionError("codes-native backend drew the counts twin")
+
+        monkeypatch.setitem(COUNTS_ADVERSARIES, "scramble", explode)
+        for backend in ("object", "array"):
+            outcome = run_scenario(expand_grid(self.scramble_grid(backend))[0])
+            assert outcome.converged
 
 
 class TestCountsBackendSweep:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import math
 
+import pytest
+
 from repro.baselines.nonss_leader import PairwiseElimination
 from repro.sim.trials import TrialSummary, format_table, run_trials
 
@@ -143,6 +145,46 @@ class TestFormatTable:
 
 
 class TestBackendSelection:
+    def test_counts_factory_builds_o_of_s_specs(self):
+        import pytest
+
+        pytest.importorskip("numpy")
+        from repro.sim.counts_backend import goal_counts_predicate
+
+        protocol = PairwiseElimination(64)
+        built: list[int] = []
+
+        def counts_factory(index: int):
+            built.append(index)
+            return [32, 32]  # half leaders, half followers
+
+        summary = run_trials(
+            protocol,
+            goal_counts_predicate(protocol),
+            n=64,
+            trials=3,
+            max_interactions=500_000,
+            seed=4,
+            check_interval=64,
+            counts_factory=counts_factory,
+            backend="counts",
+        )
+        assert built == [0, 1, 2]
+        assert summary.converged == 3
+
+    def test_factories_are_mutually_exclusive(self):
+        protocol = PairwiseElimination(8)
+        with pytest.raises(ValueError, match="at most one"):
+            run_trials(
+                protocol,
+                protocol.is_goal_configuration,
+                n=8,
+                trials=1,
+                max_interactions=100,
+                codes_factory=lambda index: [0] * 8,
+                counts_factory=lambda index: [8, 0],
+            )
+
     def test_counts_backend_summary(self):
         import pytest
 

@@ -440,7 +440,8 @@ def planted_counts(protocol, generator, n: int, planted: int | None = None):
 
 #: Code-space adversary suite for finite-state protocols: each entry maps
 #: ``(protocol, numpy_generator, n)`` to an ``(n,)`` state-code array that
-#: any execution backend can start from (see ``make_simulation(codes=)``).
+#: any execution backend can start from (via ``init=CodeArray(...)`` or
+#: lazily through ``repro.sim.initial_state.SampledStart``).
 CODE_ADVERSARIES: dict[str, Callable] = {
     "scramble": scrambled_codes,
     "plant_minority": planted_codes,

@@ -15,10 +15,11 @@ but each trial's randomness comes from its own derived seed, so worker
 count never changes the numbers.  ``--batch`` sets the convergence-check
 interval, which is also the batch size of the simulator's fast path.
 ``sweep --backend`` selects an execution engine from the backend registry
-(:mod:`repro.sim.backends`): ``array`` (vectorized per-agent state codes)
-or ``counts`` (count-vector aggregate) for finite-state protocols, else
-the default ``object`` engine (or ``$REPRO_BENCH_BACKEND``); see README
-"Execution backends".
+(:mod:`repro.sim.backends`): ``array`` (vectorized per-agent state
+codes), ``counts`` (count-vector aggregate) or ``batch`` (trial-
+vectorized counts matrix, one lockstep engine per sweep cell) for
+finite-state protocols, else the default ``object`` engine (or
+``$REPRO_BENCH_BACKEND``); see README "Execution backends".
 """
 
 from __future__ import annotations
@@ -153,11 +154,19 @@ def build_parser() -> argparse.ArgumentParser:
         "and median repair time as first-class JSONL fields.",
     )
     sweep.add_argument(
+        "--burst-size", dest="burst_sizes", nargs="+", type=_positive_int,
+        default=[1], metavar="K",
+        help="agents corrupted per fault burst (an axis of the grid; "
+        "ignored at rate 0, where it collapses to 1)",
+    )
+    sweep.add_argument(
         "--backend", choices=backend_names(), default=None,
         help="execution engine (from the backend registry): 'object' = "
         "per-interaction, 'array' = vectorized per-agent state codes, "
-        "'counts' = count-vector aggregate (both vectorized engines are "
-        "finite-state only). Default: $REPRO_BENCH_BACKEND, else 'object'.",
+        "'counts' = count-vector aggregate, 'batch' = trial-vectorized "
+        "counts matrix running each whole cell in lockstep (the "
+        "vectorized engines are finite-state only). "
+        "Default: $REPRO_BENCH_BACKEND, else 'object'.",
     )
     sweep.add_argument("--trials", type=_positive_int, default=5, help="trials per cell")
     sweep.add_argument("--seed", type=int, default=0)
@@ -308,6 +317,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         adversaries=tuple(args.adversaries),
         fault_rates=tuple(args.fault_rates),
         fault_models=tuple(args.fault_models),
+        burst_sizes=tuple(args.burst_sizes),
         trials=args.trials,
         seed=args.seed,
         max_interactions=args.max_interactions,

@@ -211,6 +211,23 @@ class CollisionRunSampler:
         length = int(self._neg_survival.searchsorted(-u, side="right"))
         return max(1, length)
 
+    def next_run_lengths(self, count: int):
+        """Draw ``count`` i.i.d. run lengths as one ``int64`` vector.
+
+        The trial-vectorized sibling of :meth:`next_run_length` for the
+        batch counts engine (:mod:`repro.sim.batch_backend`): one uniform
+        block plus one ``searchsorted`` serves a whole trial batch's
+        lockstep step.  Same inverse transform, same law per entry, and
+        the generator stream is consumed exactly as ``count`` scalar
+        draws would consume it.
+        """
+        if count < 0:
+            raise ValueError(f"run count must be non-negative, got {count}")
+        np = self._np
+        u = self._generator.random(count)
+        lengths = self._neg_survival.searchsorted(-u, side="right")
+        return np.maximum(lengths, 1).astype(np.int64)
+
 
 class RecordedSchedule:
     """A fixed, replayable sequence of interaction pairs.

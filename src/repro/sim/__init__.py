@@ -8,15 +8,31 @@ from repro.sim.convergence import (
     run_to_silence,
     unique_leader,
 )
+from repro.sim.batch_backend import (
+    BatchCountsEngine,
+    RowOutcome,
+    run_trial_batch,
+)
 from repro.sim.fault_engine import (
     FAULT_MODELS,
     FaultEngine,
     FaultEngineError,
     FaultModel,
+    FaultSpec,
     fault_model_names,
     get_fault_model,
     make_fault_engine,
     register_fault_model,
+)
+from repro.sim.initial_state import (
+    Clean,
+    CodeArray,
+    CountVector,
+    InitialState,
+    ObjectConfig,
+    Replicated,
+    SampledStart,
+    coerce_legacy_init,
 )
 from repro.sim.faults import AvailabilityReport, FaultInjector, measure_availability
 from repro.sim.metrics import Metrics
@@ -83,6 +99,7 @@ from repro.sim.sweep import (
     expand_grid,
     load_checkpoint,
     run_scenario,
+    run_scenario_cell,
     run_sweep,
 )
 from repro.sim.trace import ProtocolTracer, TraceEvent
@@ -109,6 +126,17 @@ __all__ = [
     "counts_from_codes",
     "counts_from_configuration",
     "goal_counts_predicate",
+    "BatchCountsEngine",
+    "RowOutcome",
+    "run_trial_batch",
+    "InitialState",
+    "Clean",
+    "CodeArray",
+    "CountVector",
+    "ObjectConfig",
+    "Replicated",
+    "SampledStart",
+    "coerce_legacy_init",
     "ArrayBackendError",
     "ArraySimulation",
     "TransitionTable",
@@ -134,6 +162,7 @@ __all__ = [
     "SweepResult",
     "expand_grid",
     "run_scenario",
+    "run_scenario_cell",
     "run_sweep",
     "aggregate_rows",
     "load_checkpoint",
@@ -152,6 +181,7 @@ __all__ = [
     "FaultEngine",
     "FaultEngineError",
     "FaultModel",
+    "FaultSpec",
     "fault_model_names",
     "get_fault_model",
     "make_fault_engine",

@@ -1,6 +1,6 @@
 """The execution-backend registry — one place that knows every engine.
 
-Three engines run ``Simulation``-shaped workloads today:
+Four engines run ``Simulation``-shaped workloads today:
 
 * ``object`` — the per-interaction reference engine
   (:class:`repro.sim.simulation.Simulation`): state objects, Python
@@ -15,30 +15,37 @@ Three engines run ``Simulation``-shaped workloads today:
   law-exact collision-free runs and applied as aggregate count deltas.
   Finite-state protocols only, and the engine of choice once only
   aggregate statistics matter (n ≥ 10⁶ stabilization curves).
+* ``batch`` — the trial-vectorized counts engine
+  (:class:`repro.sim.batch_backend.BatchCountsEngine`): ``T`` whole
+  trials as one ``(T, S)`` counts matrix, advanced in lockstep — one
+  collision-free-run draw and one table gather per step across the
+  batch.  Finite-state protocols only; the engine of choice when a sweep
+  cell or a ``run_trials`` call runs many trials of one small-``S``
+  protocol.
 
 Every dispatch site in the repository — :func:`make_simulation`,
 :func:`repro.sim.simulation.run_until`, :func:`repro.sim.trials
 .run_trials`, :class:`repro.sim.sweep.GridSpec`, the ``repro sweep
 --backend`` CLI choices — derives from this registry; none of them name a
-backend in an ``if``/``elif`` chain.  Adding a fourth engine is therefore
+backend in an ``if``/``elif`` chain.  Adding a fifth engine is therefore
 one new module that calls :func:`register_backend` (plus its
 registration line below), and every entry point picks it up.
 
 **The registry contract.**  A :class:`Backend` bundles:
 
 * ``name`` — the string users pass as ``backend=`` / ``--backend``;
-* ``factory(protocol, *, config, n, seed, codes, counts)`` — builds a
-  simulation exposing the common engine surface (``run`` / ``run_batch``
-  / ``run_until`` / ``predicate_holds`` / ``apply_fault`` / ``metrics`` /
-  ``config`` / ``n``).  ``codes`` is an optional encoded initial
-  configuration (a sequence of state codes, the common currency of the
-  vectorized adversary initializers) and ``counts`` its ``O(S)``
-  count-vector sibling (the currency of the ``*_counts`` adversary
-  twins); factories translate either to their native representation;
-* ``counts_native`` — ``True`` when the engine's native configuration IS
-  a count vector, so callers holding both forms of an initial
-  configuration (e.g. an adversary with ``codes`` and ``counts`` twins)
-  can hand over the ``O(S)`` one without naming the backend;
+* ``factory(protocol, *, init, n, seed)`` — builds a simulation exposing
+  the common engine surface (``run`` / ``run_batch`` / ``run_until`` /
+  ``predicate_holds`` / ``apply_fault`` / ``metrics`` / ``config`` /
+  ``n``).  ``init`` is an :class:`~repro.sim.initial_state.InitialState`
+  (or ``None`` for a clean ``n``-agent start); the factory asks it for
+  the engine's native representation (``to_config`` / ``to_codes`` /
+  ``to_counts``), so one value describes the start on every backend and
+  adversaries no longer need to know which form an engine prefers;
+* ``native_form`` — which representation the engine consumes natively
+  (``"config"``, ``"codes"`` or ``"counts"``): registry metadata for
+  docs, ``--help`` and schema-compatibility checks (nothing dispatches
+  on it);
 * ``supports(protocol)`` — ``None`` when the engine can run the protocol,
   else a human-readable reason (used by :class:`~repro.sim.sweep
   .GridSpec` validation and by callers that want to fail before spawning
@@ -46,6 +53,13 @@ registration line below), and every entry point picks it up.
   still raise at construction time for resource-level problems it cannot
   see (e.g. a transition table that only blows the size cap at the
   sweep's largest ``n``);
+* ``trial_runner`` — optional batch capability: a callable executing a
+  whole list of :class:`~repro.sim.parallel.TrialSpec` work items as one
+  native batch (``run_trials`` routes through it instead of the
+  per-trial process pool);
+* ``batch_cells`` — ``True`` when the engine runs whole sweep cells as
+  one batch through the batch-driver surface (``run_rows_until`` /
+  ``measure_rows_availability``; see :mod:`repro.sim.batch_backend`);
 * ``description`` — one line for ``--help`` and error messages.
 
 **Resolution happens once.**  :func:`resolve_backend` applies the
@@ -64,6 +78,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
 from repro.core.protocol import PopulationProtocol
+from repro.sim.initial_state import InitialState, coerce_legacy_init
 
 #: Environment variable naming the default backend (see resolve_backend).
 BACKEND_ENV = "REPRO_BENCH_BACKEND"
@@ -75,11 +90,17 @@ BACKEND_ENV = "REPRO_BENCH_BACKEND"
 BACKEND_OBJECT = "object"
 BACKEND_ARRAY = "array"
 BACKEND_COUNTS = "counts"
+BACKEND_BATCH = "batch"
 
 #: The engine used when neither the caller nor the environment names one.
 DEFAULT_BACKEND = BACKEND_OBJECT
 
-#: Factory signature: ``factory(protocol, config=, n=, seed=, codes=, counts=)``.
+#: The three native configuration representations (``Backend.native_form``).
+NATIVE_CONFIG = "config"
+NATIVE_CODES = "codes"
+NATIVE_COUNTS = "counts"
+
+#: Factory signature: ``factory(protocol, init=, n=, seed=)``.
 SimulationFactory = Callable[..., Any]
 
 #: Capability check: ``None`` = supported, else the reason it is not.
@@ -94,8 +115,12 @@ class Backend:
     factory: SimulationFactory
     supports: SupportsCheck
     description: str = ""
-    #: True when the engine's native configuration is a count vector.
-    counts_native: bool = False
+    #: The representation the engine consumes natively (registry metadata).
+    native_form: str = NATIVE_CONFIG
+    #: Optional: run a whole list of TrialSpecs as one native batch.
+    trial_runner: Optional[Callable[[Sequence[Any]], list]] = None
+    #: True when the engine runs whole sweep cells through the batch surface.
+    batch_cells: bool = False
 
     def require(self, protocol: PopulationProtocol) -> None:
         """Raise ``ValueError`` unless this engine can run ``protocol``."""
@@ -122,6 +147,12 @@ def register_backend(backend: Backend, *, replace: bool = False) -> Backend:
         raise ValueError(f"backend name must be a simple identifier, got {backend.name!r}")
     if backend.name in _REGISTRY and not replace:
         raise ValueError(f"backend '{backend.name}' is already registered")
+    if backend.native_form not in (NATIVE_CONFIG, NATIVE_CODES, NATIVE_COUNTS):
+        raise ValueError(
+            f"backend native_form must be one of "
+            f"{NATIVE_CONFIG!r}/{NATIVE_CODES!r}/{NATIVE_COUNTS!r}, "
+            f"got {backend.native_form!r}"
+        )
     _REGISTRY[backend.name] = backend
     return backend
 
@@ -161,25 +192,30 @@ def supports_backend(protocol: PopulationProtocol, backend: str) -> Optional[str
 def make_simulation(
     protocol: PopulationProtocol,
     *,
-    config: Optional[list[Any]] = None,
+    init: Optional[InitialState] = None,
     n: Optional[int] = None,
     seed: int = 0,
     backend: Optional[str] = None,
+    config: Optional[list[Any]] = None,
     codes: Optional[Sequence[int]] = None,
     counts: Optional[Sequence[int]] = None,
 ):
     """Build a simulation on the requested execution backend.
 
-    Exactly one of ``config`` (state objects), ``codes`` (encoded state
-    codes), ``counts`` (an ``S``-length count vector) or ``n`` (clean
-    start) describes the initial configuration.  ``backend=None``
-    resolves the environment default; a non-``None`` name is treated as
-    already resolved and looked up directly.
+    The initial configuration is ``init`` — an
+    :class:`~repro.sim.initial_state.InitialState` — or ``n`` for a clean
+    start.  ``backend=None`` resolves the environment default; a
+    non-``None`` name is treated as already resolved and looked up
+    directly.
+
+    ``config=``/``codes=``/``counts=`` are the deprecated kwarg triple
+    this API replaced; they are translated (with a
+    ``DeprecationWarning``) into the matching ``InitialState`` member for
+    one release — see :func:`repro.sim.initial_state.coerce_legacy_init`.
     """
-    if sum(x is not None for x in (config, codes, counts)) > 1:
-        raise ValueError("provide at most one of config=, codes= and counts=")
+    init = coerce_legacy_init(init, config=config, codes=codes, counts=counts)
     entry = get_backend(backend if backend is not None else resolve_backend(None))
-    return entry.factory(protocol, config=config, n=n, seed=seed, codes=codes, counts=counts)
+    return entry.factory(protocol, init=init, n=n, seed=seed)
 
 
 # ---------------------------------------------------------------------------
@@ -191,53 +227,10 @@ def make_simulation(
 # import-guard numpy themselves and raise a clear error at use time.
 
 
-def _decode_codes(protocol: PopulationProtocol, codes: Sequence[int]) -> list[Any]:
-    """Decode a state-code sequence to fresh state objects (numpy-free).
-
-    Range-checked against ``num_states()`` so invalid codes fail loudly
-    here exactly as they do on the vectorized engines — the reference
-    engine must not silently run what the others reject.
-    """
-    size = protocol.num_states()
-    decode = protocol.decode_state
-    config = []
-    for code in codes:
-        code = int(code)
-        if size is not None and not 0 <= code < size:
-            raise ValueError(f"state code {code} outside range({size})")
-        config.append(decode(code))
-    return config
-
-
-def _expand_counts(protocol: PopulationProtocol, counts: Sequence[int]) -> list[Any]:
-    """Expand a count vector to *fresh* state objects (numpy-free).
-
-    Every agent gets its own decoded object — the object engine mutates
-    states in place, so the shared-object expansion the counts backend
-    uses for read-only predicates would alias agents together here.
-    """
-    size = protocol.num_states()
-    values = [int(count) for count in counts]
-    if size is None or len(values) != size:
-        raise ValueError(
-            f"counts must have length num_states()={size}, got {len(values)}"
-        )
-    config: list[Any] = []
-    for code, count in enumerate(values):
-        if count < 0:
-            raise ValueError("counts must be non-negative")
-        for _ in range(count):
-            config.append(protocol.decode_state(code))
-    return config
-
-
-def _object_factory(protocol, *, config=None, n=None, seed=0, codes=None, counts=None):
+def _object_factory(protocol, *, init=None, n=None, seed=0):
     from repro.sim.simulation import Simulation
 
-    if counts is not None:
-        config = _expand_counts(protocol, counts)
-    elif codes is not None:
-        config = _decode_codes(protocol, codes)
+    config = init.to_config(protocol) if init is not None else None
     return Simulation(protocol, config=config, n=n, seed=seed)
 
 
@@ -263,25 +256,30 @@ def _finite_state_supports(protocol: PopulationProtocol) -> Optional[str]:
     return None
 
 
-def _array_factory(protocol, *, config=None, n=None, seed=0, codes=None, counts=None):
-    from repro.sim.array_backend import ArraySimulation, require_numpy
+def _array_factory(protocol, *, init=None, n=None, seed=0):
+    from repro.sim.array_backend import ArraySimulation
 
-    if counts is not None:
-        np = require_numpy()
-        vector = np.asarray(counts, dtype=np.int64)
-        size = protocol.num_states()
-        if size is None or vector.shape != (size,):
-            raise ValueError(
-                f"counts must have shape (num_states()={size},), got {vector.shape}"
-            )
-        codes = np.repeat(np.arange(size, dtype=np.int64), vector)
-    return ArraySimulation(protocol, config=config, n=n, seed=seed, codes=codes)
+    codes = init.to_codes(protocol) if init is not None else None
+    return ArraySimulation(protocol, n=n, seed=seed, codes=codes)
 
 
-def _counts_factory(protocol, *, config=None, n=None, seed=0, codes=None, counts=None):
+def _counts_factory(protocol, *, init=None, n=None, seed=0):
     from repro.sim.counts_backend import CountsSimulation
 
-    return CountsSimulation(protocol, config=config, n=n, seed=seed, codes=codes, counts=counts)
+    counts = init.to_counts(protocol) if init is not None else None
+    return CountsSimulation(protocol, n=n, seed=seed, counts=counts)
+
+
+def _batch_factory(protocol, *, init=None, n=None, seed=0):
+    from repro.sim.batch_backend import BatchCountsEngine
+
+    return BatchCountsEngine(protocol, init=init, n=n, seed=seed)
+
+
+def _batch_trial_runner(specs):
+    from repro.sim.batch_backend import run_trial_batch
+
+    return run_trial_batch(specs)
 
 
 register_backend(
@@ -290,6 +288,7 @@ register_backend(
         factory=_object_factory,
         supports=_object_supports,
         description="per-interaction state objects (every protocol; observers, faults)",
+        native_form=NATIVE_CONFIG,
     )
 )
 register_backend(
@@ -298,6 +297,7 @@ register_backend(
         factory=_array_factory,
         supports=_finite_state_supports,
         description="vectorized per-agent state-code array (finite-state protocols)",
+        native_form=NATIVE_CODES,
     )
 )
 register_backend(
@@ -306,6 +306,20 @@ register_backend(
         factory=_counts_factory,
         supports=_finite_state_supports,
         description="count-vector over state codes (finite-state protocols, aggregate statistics)",
-        counts_native=True,
+        native_form=NATIVE_COUNTS,
+    )
+)
+register_backend(
+    Backend(
+        name=BACKEND_BATCH,
+        factory=_batch_factory,
+        supports=_finite_state_supports,
+        description=(
+            "trial-vectorized (T, S) counts matrix — whole trial batches "
+            "advanced in lockstep (finite-state protocols)"
+        ),
+        native_form=NATIVE_COUNTS,
+        trial_runner=_batch_trial_runner,
+        batch_cells=True,
     )
 )

@@ -155,6 +155,36 @@ def _require_num_states(protocol: PopulationProtocol) -> int:
     return size
 
 
+def counts_are_silent(table: TransitionTable, counts) -> bool:
+    """True iff no *possible* interaction can change ``counts``.
+
+    The counts-level form of the paper's silence notion: every ordered
+    pair ``(a, b)`` of occupied codes that two distinct agents can
+    realize must satisfy ``δ(a, b) = (a, b)``.  A diagonal pair
+    ``(a, a)`` needs two agents in code ``a``, so single-occupancy codes
+    are exempt on the diagonal — which is exactly why a one-leader
+    pairwise-elimination population and a CIW permutation count as
+    silent.  ``O(occupied²)`` lookups, bailing out above
+    :data:`MAX_SILENCE_STATES` occupied codes (``False`` is always a
+    safe answer).  Shared by :class:`CountsSimulation` and the
+    trial-vectorized batch engine (:mod:`repro.sim.batch_backend`),
+    which evaluates it per batch row.
+    """
+    np = require_numpy()
+    occupied = np.flatnonzero(counts)
+    if occupied.size > MAX_SILENCE_STATES:
+        return False
+    grid = np.ix_(occupied, occupied)
+    changes = (table.u_out[grid] != occupied[:, None])
+    changes |= (table.v_out[grid] != occupied[None, :])
+    if not changes.any():
+        return True
+    # Non-inert diagonal entries are unrealizable with a single agent.
+    diagonal = np.arange(occupied.size)
+    changes[diagonal, diagonal] &= counts[occupied] > 1
+    return not changes.any()
+
+
 # ---------------------------------------------------------------------------
 # Aggregate application of state-pair interactions
 # ---------------------------------------------------------------------------
@@ -405,30 +435,10 @@ class CountsSimulation:
     def configuration_is_silent(self) -> bool:
         """True iff no *possible* interaction can change the counts.
 
-        The counts-level form of the paper's silence notion: every
-        ordered pair ``(a, b)`` of occupied codes that two distinct
-        agents can realize must satisfy ``δ(a, b) = (a, b)``.  A
-        diagonal pair ``(a, a)`` needs two agents in code ``a``, so
-        single-occupancy codes are exempt on the diagonal — which is
-        exactly why a one-leader pairwise-elimination population and a
-        CIW permutation count as silent.  ``O(occupied²)`` lookups,
-        bailing out above :data:`MAX_SILENCE_STATES` occupied codes
-        (``False`` is always a safe answer).
+        See :func:`counts_are_silent` for the law (and the
+        single-occupancy diagonal exemption).
         """
-        np = require_numpy()
-        counts = self.counts
-        occupied = np.flatnonzero(counts)
-        if occupied.size > MAX_SILENCE_STATES:
-            return False
-        grid = np.ix_(occupied, occupied)
-        changes = (self.table.u_out[grid] != occupied[:, None])
-        changes |= (self.table.v_out[grid] != occupied[None, :])
-        if not changes.any():
-            return True
-        # Non-inert diagonal entries are unrealizable with a single agent.
-        diagonal = np.arange(occupied.size)
-        changes[diagonal, diagonal] &= counts[occupied] > 1
-        return not changes.any()
+        return counts_are_silent(self.table, self.counts)
 
     # ------------------------------------------------------------------
     # The batched collision-run sampler

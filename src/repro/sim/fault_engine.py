@@ -67,6 +67,7 @@ the common engine surface (``run_batch`` / ``predicate_holds`` /
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Any, Optional
 from weakref import WeakKeyDictionary
 
@@ -86,6 +87,31 @@ _CORRUPT_STREAM = 0xC0
 
 class FaultEngineError(RuntimeError):
     """A fault model cannot run on this protocol (or numpy is missing)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One trial's fault-injection recipe, as plain data.
+
+    The portable form of a :class:`FaultEngine` construction: batch
+    drivers (:mod:`repro.sim.batch_backend`) and sweep cells carry one
+    ``FaultSpec`` per trial row and materialize engines — or the
+    equivalent per-row stream state — from it.  ``seed`` is the engine
+    seed; the schedule and corruption streams derive from it with the
+    same tags a :class:`FaultEngine` uses, so a ``FaultSpec`` replayed
+    through any driver produces the bit-identical burst schedule.
+    """
+
+    model: str
+    rate: float
+    burst_size: int = 1
+    seed: int = 0
+
+    def make_engine(self, protocol: PopulationProtocol, *, n: int) -> FaultEngine:
+        return make_fault_engine(
+            self.model, protocol, n=n, rate=self.rate,
+            burst_size=self.burst_size, seed=self.seed,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -609,6 +635,7 @@ __all__ = [
     "FaultEngine",
     "FaultEngineError",
     "FaultModel",
+    "FaultSpec",
     "KillLeaders",
     "PlantMinority",
     "ScrambleBurst",

@@ -43,10 +43,11 @@ from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, TypeVa
 
 from repro.core.protocol import PopulationProtocol
 from repro.sim.backends import DEFAULT_BACKEND
+from repro.sim.initial_state import InitialState, coerce_legacy_init
 from repro.sim.simulation import ConfigPredicate, run_until
 
 
-@dataclass
+@dataclass(init=False)
 class TrialSpec:
     """One fully-determined trial, picklable for process fan-out.
 
@@ -55,11 +56,13 @@ class TrialSpec:
     do a pure registry lookup and never consult their own environment,
     so every process runs the same engine.
 
-    The start configuration is (at most) one of ``config`` (state
-    objects), ``codes`` (encoded state codes — the cheap currency for
-    finite-state protocols at large ``n``), ``counts`` (an ``S``-length
-    count vector — ``O(S)`` to build and pickle, the cheapest of all) or
-    ``n`` (clean start).
+    The start configuration is ``init`` — an
+    :class:`~repro.sim.initial_state.InitialState`, whose members cover
+    every pickle-cost point from full state-object lists down to the
+    ``O(S)`` count vectors and ``O(1)`` sampled-adversary handles — or
+    ``n`` for a clean start.  The deprecated ``config=``/``codes=``/
+    ``counts=`` kwargs are still accepted for one release and translated
+    with a ``DeprecationWarning``.
     """
 
     index: int
@@ -68,11 +71,35 @@ class TrialSpec:
     seed: int
     max_interactions: int
     check_interval: int = 1
-    config: Optional[list[Any]] = None
+    init: Optional[InitialState] = None
     n: Optional[int] = None
     backend: str = DEFAULT_BACKEND
-    codes: Optional[Sequence[int]] = None
-    counts: Optional[Sequence[int]] = None
+
+    def __init__(
+        self,
+        index: int,
+        protocol: PopulationProtocol,
+        predicate: ConfigPredicate,
+        seed: int,
+        max_interactions: int,
+        check_interval: int = 1,
+        init: Optional[InitialState] = None,
+        n: Optional[int] = None,
+        backend: str = DEFAULT_BACKEND,
+        *,
+        config: Optional[list[Any]] = None,
+        codes: Optional[Sequence[int]] = None,
+        counts: Optional[Sequence[int]] = None,
+    ):
+        self.index = index
+        self.protocol = protocol
+        self.predicate = predicate
+        self.seed = seed
+        self.max_interactions = max_interactions
+        self.check_interval = check_interval
+        self.init = coerce_legacy_init(init, config=config, codes=codes, counts=counts)
+        self.n = n
+        self.backend = backend
 
 
 @dataclass
@@ -90,14 +117,12 @@ def run_trial(spec: TrialSpec) -> TrialOutcome:
     result = run_until(
         spec.protocol,
         spec.predicate,
-        config=spec.config,
+        init=spec.init,
         n=spec.n,
         seed=spec.seed,
         max_interactions=spec.max_interactions,
         check_interval=spec.check_interval,
         backend=spec.backend,
-        codes=spec.codes,
-        counts=spec.counts,
     )
     return TrialOutcome(
         index=spec.index,

@@ -180,10 +180,11 @@ def resolve_backend(backend: Optional[str]) -> str:
 def make_simulation(
     protocol: PopulationProtocol,
     *,
-    config: Optional[list[Any]] = None,
+    init=None,
     n: Optional[int] = None,
     seed: int = 0,
     backend: Optional[str] = None,
+    config: Optional[list[Any]] = None,
     codes: Optional[Sequence[int]] = None,
     counts: Optional[Sequence[int]] = None,
 ):
@@ -191,15 +192,18 @@ def make_simulation(
 
     Thin delegate of :func:`repro.sim.backends.make_simulation`: the
     engine is looked up in the backend registry and its factory builds
-    the simulation.  Every engine exposes ``run`` / ``run_batch`` /
-    ``run_until`` / ``predicate_holds`` / ``apply_fault`` / ``metrics`` /
-    ``config``.
+    the simulation from the :class:`~repro.sim.initial_state
+    .InitialState` ``init`` (or a clean ``n``-agent start).  Every engine
+    exposes ``run`` / ``run_batch`` / ``run_until`` / ``predicate_holds``
+    / ``apply_fault`` / ``metrics`` / ``config``.  The trailing
+    ``config=``/``codes=``/``counts=`` kwargs are the deprecated triple
+    ``init=`` replaced (one-release shim, ``DeprecationWarning``).
     """
     from repro.sim import backends
 
     return backends.make_simulation(
-        protocol, config=config, n=n, seed=seed, backend=backend, codes=codes,
-        counts=counts,
+        protocol, init=init, n=n, seed=seed, backend=backend, config=config,
+        codes=codes, counts=counts,
     )
 
 
@@ -207,19 +211,20 @@ def run_until(
     protocol: PopulationProtocol,
     predicate: ConfigPredicate,
     *,
-    config: Optional[list[Any]] = None,
+    init=None,
     n: Optional[int] = None,
     seed: int = 0,
     max_interactions: int,
     check_interval: int = 1,
     backend: Optional[str] = None,
+    config: Optional[list[Any]] = None,
     codes: Optional[Sequence[int]] = None,
     counts: Optional[Sequence[int]] = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :func:`make_simulation`."""
     sim = make_simulation(
-        protocol, config=config, n=n, seed=seed, backend=backend, codes=codes,
-        counts=counts,
+        protocol, init=init, n=n, seed=seed, backend=backend, config=config,
+        codes=codes, counts=counts,
     )
     return sim.run_until(predicate, max_interactions, check_interval)
 

@@ -15,10 +15,18 @@ trials.  This module is that workload, end to end:
   only) with a child seed already derived in the parent, so execution is
   deterministic regardless of which process runs which trial;
 * :func:`run_scenario` materializes one spec inside the worker (protocol,
-  adversarial start, fault engine) and runs it to convergence or budget —
-  fault cells run the availability workload on whichever backend the grid
-  names, and their :class:`~repro.sim.faults.AvailabilityReport` outcomes
-  (availability, median repair) are first-class JSONL fields;
+  adversarial start as an :class:`~repro.sim.initial_state.InitialState`,
+  fault engine) and runs it to convergence or budget — fault cells run
+  the availability workload on whichever backend the grid names, with
+  burst size a first-class grid axis, and their
+  :class:`~repro.sim.faults.AvailabilityReport` outcomes (availability,
+  median repair) are first-class JSONL fields;
+* on a batch-cell backend (``--backend batch``) the sweep instead runs
+  :func:`run_scenario_cell`: all of a cell's trials become the rows of
+  one :class:`~repro.sim.batch_backend.BatchCountsEngine` advanced in
+  lockstep, in-process — resume still works cell-wise, re-running any
+  partially-checkpointed cell deterministically and appending only the
+  missing rows;
 * :func:`run_sweep` streams the specs through
   :func:`repro.sim.parallel.stream_ordered` — outcomes are re-ordered on
   arrival, appended to a JSONL results file as they land, and aggregated
@@ -51,7 +59,6 @@ from repro.adversary.initializers import (
     ADVERSARIES,
     CODE_ADVERSARIES,
     COUNTS_ADVERSARIES,
-    code_rng,
 )
 from repro.baselines.cai_izumi_wada import CaiIzumiWada
 from repro.baselines.loosely_stabilizing import LooselyStabilizingLeaderElection
@@ -60,13 +67,26 @@ from repro.core.elect_leader import ElectLeader
 from repro.core.params import BaselineParams, ProtocolParams
 from repro.core.protocol import PopulationProtocol
 from repro.scheduler.rng import derive_seed, make_rng
-from repro.sim.backends import DEFAULT_BACKEND, get_backend, make_simulation
+from repro.sim.backends import (
+    DEFAULT_BACKEND,
+    NATIVE_COUNTS,
+    get_backend,
+    make_simulation,
+)
 from repro.sim.counts_backend import counts_aware, goal_counts_predicate
 from repro.sim.fault_engine import (
     DEFAULT_FAULT_MODEL,
     FAULT_MODELS,
     FaultEngine,
+    FaultSpec,
     get_fault_model,
+)
+from repro.sim.initial_state import (
+    Clean,
+    InitialState,
+    ObjectConfig,
+    Replicated,
+    SampledStart,
 )
 from repro.sim.parallel import stream_ordered
 from repro.sim.simulation import ConfigPredicate
@@ -207,11 +227,14 @@ class GridSpec:
     """A Cartesian scenario grid plus the shared per-trial budget.
 
     Axis order is fixed — ``protocol × n × r × adversary × fault_rate ×
-    fault_model``, then ``trials`` trials per cell — and expansion is
-    deterministic, so a grid's global trial indices (and therefore its
-    derived seeds and its JSONL checkpoint) are stable across runs and
-    processes.  The ``fault_models`` axis only matters for cells with a
-    positive fault rate; zero-rate cells collapse it to :data:`NO_FAULTS`.
+    fault_model × burst_size``, then ``trials`` trials per cell — and
+    expansion is deterministic, so a grid's global trial indices (and
+    therefore its derived seeds and its JSONL checkpoint) are stable
+    across runs and processes.  The ``fault_models`` and ``burst_sizes``
+    axes only matter for cells with a positive fault rate; zero-rate
+    cells collapse them to :data:`NO_FAULTS` and ``1`` (``burst_sizes``
+    is the *last* product axis, so default grids expand exactly as they
+    did before the axis existed).
     """
 
     ns: tuple[int, ...]
@@ -225,6 +248,7 @@ class GridSpec:
     check_interval: int = 1_000
     backend: str = DEFAULT_BACKEND
     fault_models: tuple[str, ...] = (DEFAULT_FAULT_MODEL,)
+    burst_sizes: tuple[int, ...] = (1,)
 
     def __post_init__(self) -> None:
         try:
@@ -234,7 +258,7 @@ class GridSpec:
         for name, values in (
             ("protocols", self.protocols), ("ns", self.ns), ("rs", self.rs),
             ("adversaries", self.adversaries), ("fault_rates", self.fault_rates),
-            ("fault_models", self.fault_models),
+            ("fault_models", self.fault_models), ("burst_sizes", self.burst_sizes),
         ):
             if not values:
                 raise SweepError(f"grid axis '{name}' must be non-empty")
@@ -282,6 +306,9 @@ class GridSpec:
         for rate in self.fault_rates:
             if rate < 0:
                 raise SweepError(f"fault rate must be >= 0, got {rate}")
+        for burst in self.burst_sizes:
+            if burst < 1:
+                raise SweepError(f"burst size must be >= 1, got {burst}")
         if self.trials < 1:
             raise SweepError(f"trials must be >= 1, got {self.trials}")
         if self.max_interactions < 1 or self.check_interval < 1:
@@ -296,7 +323,10 @@ class GridSpec:
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "GridSpec":
         kwargs = dict(data)
-        for key in ("protocols", "ns", "rs", "adversaries", "fault_rates", "fault_models"):
+        for key in (
+            "protocols", "ns", "rs", "adversaries", "fault_rates",
+            "fault_models", "burst_sizes",
+        ):
             if key in kwargs:
                 kwargs[key] = tuple(kwargs[key])
         return cls(**kwargs)
@@ -324,13 +354,14 @@ class ScenarioSpec:
     check_interval: int
     backend: str = DEFAULT_BACKEND  # execution engine, resolved in the parent
     fault_model: str = NO_FAULTS  # corruption law for fault_rate > 0 cells
+    burst_size: int = 1  # agents corrupted per burst (fault cells)
 
     @property
-    def scenario_key(self) -> tuple[str, int, int, str, float, str]:
+    def scenario_key(self) -> tuple[str, int, int, str, float, str, int]:
         """The grid-cell identity (everything but trial/index/seed)."""
         return (
             self.protocol, self.n, self.r, self.adversary,
-            self.fault_rate, self.fault_model,
+            self.fault_rate, self.fault_model, self.burst_size,
         )
 
     @property
@@ -338,7 +369,7 @@ class ScenarioSpec:
         return (
             f"{self.protocol}/n={self.n}/r={self.r}"
             f"/adv={self.adversary}/fault={self.fault_rate:g}"
-            f"/model={self.fault_model}"
+            f"/model={self.fault_model}/burst={self.burst_size}"
         )
 
 
@@ -369,6 +400,7 @@ class ScenarioOutcome:
     fault_bursts: int = 0
     backend: str = DEFAULT_BACKEND
     fault_model: str = NO_FAULTS
+    burst_size: int = 1
     availability: Optional[float] = None
     median_repair: Optional[float] = None
 
@@ -386,6 +418,7 @@ class ScenarioOutcome:
         fields["fault_bursts"] = record.get("fault_bursts", 0)
         fields["backend"] = record.get("backend", DEFAULT_BACKEND)
         fields["fault_model"] = record.get("fault_model", NO_FAULTS)
+        fields["burst_size"] = record.get("burst_size", 1)
         fields["availability"] = record.get("availability")
         fields["median_repair"] = record.get("median_repair")
         return cls(**fields)
@@ -404,10 +437,10 @@ def expand_grid(grid: GridSpec) -> list[ScenarioSpec]:
     grids stay expressible.  Raises if nothing survives.
     """
     specs: list[ScenarioSpec] = []
-    seen_cells: set[tuple[str, int, int, str, float, str]] = set()
-    for protocol, n, r, adversary, fault_rate, fault_model in itertools.product(
+    seen_cells: set[tuple[str, int, int, str, float, str, int]] = set()
+    for protocol, n, r, adversary, fault_rate, fault_model, burst_size in itertools.product(
         grid.protocols, grid.ns, grid.rs, grid.adversaries,
-        grid.fault_rates, grid.fault_models,
+        grid.fault_rates, grid.fault_models, grid.burst_sizes,
     ):
         kind = PROTOCOLS[protocol]
         if kind.uses_r:
@@ -432,9 +465,10 @@ def expand_grid(grid: GridSpec) -> list[ScenarioSpec]:
             fault_rate = 0.0
         if fault_rate == 0.0:
             fault_model = NO_FAULTS
+            burst_size = 1
         elif get_fault_model(fault_model).supports(_probe_protocol(kind)) is not None:
             continue
-        cell = (protocol, n, r, adversary, fault_rate, fault_model)
+        cell = (protocol, n, r, adversary, fault_rate, fault_model, burst_size)
         if cell in seen_cells:  # collapsed axes revisit the same cell
             continue
         seen_cells.add(cell)
@@ -454,6 +488,7 @@ def expand_grid(grid: GridSpec) -> list[ScenarioSpec]:
                     check_interval=grid.check_interval,
                     backend=grid.backend,
                     fault_model=fault_model,
+                    burst_size=burst_size,
                 )
             )
     if not specs:
@@ -469,74 +504,50 @@ def expand_grid(grid: GridSpec) -> list[ScenarioSpec]:
 # ---------------------------------------------------------------------------
 
 
-def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
-    """Materialize and run one scenario trial (in whichever process it landed).
+def _scenario_init(spec: ScenarioSpec, protocol: PopulationProtocol) -> Optional[InitialState]:
+    """The spec's start configuration as an :class:`InitialState`.
 
-    Everything stochastic draws from streams derived from ``spec.seed``:
-    the simulation's scheduler/transition streams, the adversary's
-    configuration stream, and the fault engine's schedule/corruption
-    streams — so the outcome is a pure function of the spec.
-
-    Fault cells run the backend-generic availability workload
-    (:meth:`repro.sim.fault_engine.FaultEngine.measure_availability`) for
-    the full interaction budget, sampling the cell's convergence
-    predicate every ``check_interval`` interactions; fault-free cells run
-    to convergence as before.
+    Code-space adversaries ship as an ``O(1)``
+    :class:`~repro.sim.initial_state.SampledStart` handle: the backend
+    materializes whichever form is native — counts engines get the
+    law-matched ``O(S)`` twin, everyone else the state-code form — from
+    a fresh generator on the same derived seed, so the draw matches what
+    every engine saw before the ``init=`` redesign.  Object-layout
+    adversaries build their configuration eagerly (their initializers
+    speak state objects).  ``None`` means a clean ``spec.n``-agent start.
     """
-    kind = PROTOCOLS[spec.protocol]
-    protocol, predicate = kind.build(spec.n, spec.r)
-    config = None
-    codes = None
-    counts = None
     if spec.adversary in CODE_ADVERSARIES:
-        # Code-space adversaries draw from a PCG64 stream on the same
-        # derived seed and feed every backend alike.  A counts-native
-        # engine (per the backend registry) gets the O(S) count-vector
-        # twin of the same law; everyone else gets the state-code form
-        # (make_simulation translates it to the engine's native shape).
-        generator = code_rng(derive_seed(spec.seed, _ADVERSARY_STREAM))
-        if get_backend(spec.backend).counts_native and spec.adversary in COUNTS_ADVERSARIES:
-            counts = COUNTS_ADVERSARIES[spec.adversary](protocol, generator, spec.n)
-        else:
-            codes = CODE_ADVERSARIES[spec.adversary](protocol, generator, spec.n)
-    elif spec.adversary != CLEAN:
+        return SampledStart(
+            spec.adversary, spec.n, derive_seed(spec.seed, _ADVERSARY_STREAM)
+        )
+    if spec.adversary != CLEAN:
         adversary_rng = make_rng(derive_seed(spec.seed, _ADVERSARY_STREAM))
-        config = ADVERSARIES[spec.adversary](protocol, adversary_rng)
-    explicit_start = config is not None or codes is not None or counts is not None
-    sim = make_simulation(
-        protocol, config=config, codes=codes, counts=counts,
-        n=None if explicit_start else spec.n,
-        seed=spec.seed, backend=spec.backend,
+        return ObjectConfig(ADVERSARIES[spec.adversary](protocol, adversary_rng))
+    return None
+
+
+def _fault_spec(spec: ScenarioSpec) -> Optional[FaultSpec]:
+    """The spec's fault injection as a portable :class:`FaultSpec` (or None)."""
+    if spec.fault_rate <= 0:
+        return None
+    return FaultSpec(
+        model=spec.fault_model,
+        rate=spec.fault_rate,
+        burst_size=spec.burst_size,
+        seed=derive_seed(spec.seed, _FAULT_STREAM),
     )
-    availability: Optional[float] = None
-    median_repair: Optional[float] = None
-    fault_bursts = 0
-    if spec.fault_rate > 0:
-        engine = FaultEngine(
-            get_fault_model(spec.fault_model),
-            protocol,
-            n=spec.n,
-            rate=spec.fault_rate,
-            burst_size=1,
-            seed=derive_seed(spec.seed, _FAULT_STREAM),
-        )
-        report = engine.measure_availability(
-            sim, predicate,
-            total_interactions=spec.max_interactions,
-            checkpoint_every=spec.check_interval,
-        )
-        fault_bursts = report.fault_bursts
-        availability = round(report.availability, 6)
-        repair = report.median_repair_interactions
-        median_repair = None if math.isnan(repair) else float(repair)
-        converged = report.last_checkpoint_correct
-        interactions = spec.max_interactions
-        parallel_time = interactions / spec.n
-    else:
-        result = sim.run_until(predicate, spec.max_interactions, spec.check_interval)
-        converged = result.converged
-        interactions = result.interactions
-        parallel_time = result.parallel_time
+
+
+def _outcome(
+    spec: ScenarioSpec,
+    *,
+    converged: bool,
+    interactions: int,
+    parallel_time: float,
+    fault_bursts: int = 0,
+    availability: Optional[float] = None,
+    median_repair: Optional[float] = None,
+) -> ScenarioOutcome:
     return ScenarioOutcome(
         index=spec.index,
         protocol=spec.protocol,
@@ -552,9 +563,126 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
         fault_bursts=fault_bursts,
         backend=spec.backend,
         fault_model=spec.fault_model,
+        burst_size=spec.burst_size,
         availability=availability,
         median_repair=median_repair,
     )
+
+
+def _availability_outcome(spec: ScenarioSpec, report) -> ScenarioOutcome:
+    repair = report.median_repair_interactions
+    return _outcome(
+        spec,
+        converged=report.last_checkpoint_correct,
+        interactions=spec.max_interactions,
+        parallel_time=spec.max_interactions / spec.n,
+        fault_bursts=report.fault_bursts,
+        availability=round(report.availability, 6),
+        median_repair=None if math.isnan(repair) else float(repair),
+    )
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
+    """Materialize and run one scenario trial (in whichever process it landed).
+
+    Everything stochastic draws from streams derived from ``spec.seed``:
+    the simulation's scheduler/transition streams, the adversary's
+    configuration stream, and the fault engine's schedule/corruption
+    streams — so the outcome is a pure function of the spec.
+
+    Fault cells run the backend-generic availability workload
+    (:meth:`repro.sim.fault_engine.FaultEngine.measure_availability`) for
+    the full interaction budget, corrupting ``spec.burst_size`` agents
+    per burst and sampling the cell's convergence predicate every
+    ``check_interval`` interactions; fault-free cells run to convergence
+    as before.
+    """
+    kind = PROTOCOLS[spec.protocol]
+    protocol, predicate = kind.build(spec.n, spec.r)
+    init = _scenario_init(spec, protocol)
+    sim = make_simulation(
+        protocol, init=init,
+        n=None if init is not None else spec.n,
+        seed=spec.seed, backend=spec.backend,
+    )
+    if spec.fault_rate > 0:
+        engine = FaultEngine(
+            get_fault_model(spec.fault_model),
+            protocol,
+            n=spec.n,
+            rate=spec.fault_rate,
+            burst_size=spec.burst_size,
+            seed=derive_seed(spec.seed, _FAULT_STREAM),
+        )
+        report = engine.measure_availability(
+            sim, predicate,
+            total_interactions=spec.max_interactions,
+            checkpoint_every=spec.check_interval,
+        )
+        return _availability_outcome(spec, report)
+    result = sim.run_until(predicate, spec.max_interactions, spec.check_interval)
+    return _outcome(
+        spec,
+        converged=result.converged,
+        interactions=result.interactions,
+        parallel_time=result.parallel_time,
+    )
+
+
+def run_scenario_cell(specs: Sequence[ScenarioSpec]) -> list[ScenarioOutcome]:
+    """Run one grid cell's trials as a single lockstep batch.
+
+    The batch twin of per-trial :func:`run_scenario`: all of a cell's
+    trial specs become the rows of one
+    :class:`~repro.sim.batch_backend.BatchCountsEngine` (built through
+    ``make_simulation`` with a
+    :class:`~repro.sim.initial_state.Replicated` start), so the whole
+    cell advances in lockstep with a fixed number of numpy calls per
+    step.  Per-row starts and fault schedules still draw from each
+    spec's own derived seed — burst positions are bit-identical to the
+    per-trial engine's — while the interaction stream is shared (rows
+    are independent and distribution-identical to per-trial runs; a
+    one-trial cell is bit-identical to ``backend='counts'``).
+    """
+    specs = list(specs)
+    first = specs[0]
+    kind = PROTOCOLS[first.protocol]
+    protocol, predicate = kind.build(first.n, first.r)
+    rows = tuple(
+        _scenario_init(spec, protocol) or Clean(spec.n) for spec in specs
+    )
+    faults = [_fault_spec(spec) for spec in specs]
+    engine = make_simulation(
+        protocol,
+        init=Replicated(rows, len(rows)),
+        seed=first.seed,
+        backend=first.backend,
+    )
+    if first.fault_rate > 0:
+        reports = engine.measure_rows_availability(
+            predicate,
+            total_interactions=first.max_interactions,
+            checkpoint_every=first.check_interval,
+            faults=faults,
+        )
+        return [
+            _availability_outcome(spec, report)
+            for spec, report in zip(specs, reports)
+        ]
+    row_outcomes = engine.run_rows_until(
+        predicate,
+        max_interactions=first.max_interactions,
+        check_interval=first.check_interval,
+    )
+    return [
+        _outcome(
+            spec,
+            converged=row.converged,
+            interactions=row.interactions,
+            parallel_time=row.parallel_time,
+        )
+        for spec, row in zip(specs, row_outcomes)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -619,13 +747,14 @@ def load_checkpoint(
         # instead of rejecting them as "a different grid".
         stored_grid = dict(stored_grid)
         stored_grid.setdefault("backend", DEFAULT_BACKEND)
+        stored_grid.setdefault("burst_sizes", [1])
         if "fault_models" not in stored_grid:
             # One exception: pre-fault-engine counts-backend cells with
             # code-space adversaries drew the O(n) codes form; this
             # version draws the O(S) counts twin (same law, different
             # realization).  Resuming such a file would silently mix two
             # start-configuration streams, so refuse it instead.
-            if get_backend(grid.backend).counts_native and any(
+            if get_backend(grid.backend).native_form == NATIVE_COUNTS and any(
                 adversary in COUNTS_ADVERSARIES for adversary in grid.adversaries
             ):
                 raise SweepError(
@@ -660,6 +789,7 @@ def load_checkpoint(
             or outcome.fault_rate != spec.fault_rate
             or outcome.backend != spec.backend
             or outcome.fault_model != spec.fault_model
+            or outcome.burst_size != spec.burst_size
         ):
             raise SweepError(
                 f"{path}: trial record {outcome.index} does not match the grid "
@@ -707,8 +837,8 @@ def aggregate_rows(
     outcomes: median availability and the median of per-trial median
     repair times (``"-"`` on fault-free cells).
     """
-    order: list[tuple[str, int, int, str, float, str]] = []
-    cells: dict[tuple[str, int, int, str, float, str], list[ScenarioOutcome]] = {}
+    order: list[tuple[str, int, int, str, float, str, int]] = []
+    cells: dict[tuple[str, int, int, str, float, str, int], list[ScenarioOutcome]] = {}
     for spec in specs:
         if spec.scenario_key not in cells:
             order.append(spec.scenario_key)
@@ -716,12 +846,12 @@ def aggregate_rows(
     for outcome in outcomes:
         key = (
             outcome.protocol, outcome.n, outcome.r, outcome.adversary,
-            outcome.fault_rate, outcome.fault_model,
+            outcome.fault_rate, outcome.fault_model, outcome.burst_size,
         )
         cells[key].append(outcome)
     rows = []
     for key in order:
-        protocol, n, r, adversary, fault_rate, fault_model = key
+        protocol, n, r, adversary, fault_rate, fault_model, burst_size = key
         group = cells[key]
         converged = [o for o in group if o.converged]
         summary = TrialSummary(
@@ -742,6 +872,7 @@ def aggregate_rows(
                 "adversary": adversary,
                 "fault_rate": f"{fault_rate:g}",
                 "fault_model": fault_model if fault_model != NO_FAULTS else "-",
+                "burst_size": burst_size if fault_model != NO_FAULTS else "-",
                 "trials": summary.trials,
                 "success_rate": round(summary.success_rate, 3),
                 "median_interactions": summary.median_interactions,
@@ -756,6 +887,38 @@ def aggregate_rows(
             }
         )
     return rows
+
+
+def _iter_cells(specs: Sequence[ScenarioSpec]):
+    """Group specs into their grid cells (contiguous in expansion order)."""
+    cell: list[ScenarioSpec] = []
+    for spec in specs:
+        if cell and spec.scenario_key != cell[0].scenario_key:
+            yield cell
+            cell = []
+        cell.append(spec)
+    if cell:
+        yield cell
+
+
+def _run_missing_cells(
+    specs: Sequence[ScenarioSpec], completed: dict[int, ScenarioOutcome]
+):
+    """Drive a batch-cell backend: whole cells at a time, resume-aware.
+
+    A cell with *any* trial missing from the checkpoint is re-run in
+    full — :func:`run_scenario_cell` is a pure function of the specs, so
+    already-checkpointed rows reproduce identically and only the missing
+    outcomes are yielded (in index order), keeping the resumed JSONL
+    byte-identical to an uninterrupted run.  Fully-checkpointed cells
+    are skipped outright.
+    """
+    for cell in _iter_cells(specs):
+        if all(spec.index in completed for spec in cell):
+            continue
+        for outcome in run_scenario_cell(cell):
+            if outcome.index not in completed:
+                yield outcome
 
 
 def run_sweep(
@@ -781,6 +944,13 @@ def run_sweep(
     The aggregate rows (and, when every trial is written by this engine,
     the JSONL bytes themselves) are identical for any ``workers`` value
     and for any interrupt/resume split.
+
+    On a batch-cell backend (``Backend.batch_cells``, e.g. ``batch``)
+    the sweep runs cell-grouped and in-process — every cell's trials are
+    one lockstep engine, which *is* the parallelism — so ``workers`` is
+    ignored there; checkpointing, resume and the byte-identity guarantee
+    are unchanged (a partially-checkpointed cell is re-run
+    deterministically and only its missing rows are appended).
     """
     specs = expand_grid(grid)
     completed: dict[int, ScenarioOutcome] = {}
@@ -814,7 +984,11 @@ def run_sweep(
             if fresh_file:
                 handle.write(_dump_line(_meta_record(grid)))
                 handle.flush()
-        for outcome in stream_ordered(to_run, run_scenario, workers=workers):
+        if get_backend(grid.backend).batch_cells:
+            outcome_stream = _run_missing_cells(specs, completed)
+        else:
+            outcome_stream = stream_ordered(to_run, run_scenario, workers=workers)
+        for outcome in outcome_stream:
             outcomes[outcome.index] = outcome
             if handle is not None:
                 handle.write(_dump_line(outcome.to_record()))

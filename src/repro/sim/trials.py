@@ -17,27 +17,39 @@ from __future__ import annotations
 
 import math
 import statistics
+import warnings
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence, Union
 
 from repro.core.protocol import PopulationProtocol
 from repro.scheduler.rng import derive_seed
-from repro.sim.backends import resolve_backend
+from repro.sim.backends import get_backend, resolve_backend
+from repro.sim.initial_state import (
+    CodeArray,
+    CountVector,
+    InitialState,
+    ObjectConfig,
+)
 from repro.sim.parallel import TrialSpec, run_trial_specs
 from repro.sim.simulation import ConfigPredicate
 
-#: Builds a fresh initial configuration for trial ``index`` (or None for clean).
+#: The ``init=`` argument of :func:`run_trials`: one shared
+#: :class:`InitialState`, or a per-trial factory mapping the trial index
+#: to an ``InitialState`` (or ``None`` for a clean start).
+InitFactory = Callable[[int], Optional[InitialState]]
+TrialsInit = Union[InitialState, InitFactory, None]
+
+#: Deprecated factory aliases (the pre-``init=`` API); still exported so
+#: annotated call sites keep importing, translated by the shim below.
 ConfigFactory = Callable[[int], Optional[list[Any]]]
-
-#: Builds a fresh encoded start (state codes) for trial ``index`` — the
-#: O(1)-per-agent alternative to ConfigFactory for finite-state protocols
-#: at large n (no state objects are materialized or pickled).
 CodesFactory = Callable[[int], Optional[Sequence[int]]]
-
-#: Builds a fresh count-vector start for trial ``index`` — the O(S)
-#: alternative to CodesFactory for counts-native workloads: specs carry an
-#: S-length vector no matter how large n grows.
 CountsFactory = Callable[[int], Optional[Sequence[int]]]
+
+_LEGACY_FACTORY_WARNING = (
+    "the config_factory=/codes_factory=/counts_factory= keyword arguments "
+    "are deprecated; pass init= (an InitialState, or a per-trial factory "
+    "index -> InitialState) instead (repro.sim.initial_state)"
+)
 
 
 @dataclass
@@ -91,6 +103,36 @@ class TrialSummary:
         }
 
 
+def _coerce_init_argument(
+    init: TrialsInit,
+    config_factory: Optional[ConfigFactory],
+    codes_factory: Optional[CodesFactory],
+    counts_factory: Optional[CountsFactory],
+) -> TrialsInit:
+    """Fold the deprecated per-trial factory triple into ``init``."""
+    legacy = [
+        ("config_factory", config_factory, ObjectConfig),
+        ("codes_factory", codes_factory, CodeArray),
+        ("counts_factory", counts_factory, CountVector),
+    ]
+    given = [(name, fn, wrap) for name, fn, wrap in legacy if fn is not None]
+    if len(given) + (init is not None) > 1:
+        raise ValueError(
+            "provide at most one of init=, config_factory=, codes_factory= "
+            "and counts_factory="
+        )
+    if not given:
+        return init
+    name, factory, wrap = given[0]
+    warnings.warn(_LEGACY_FACTORY_WARNING, DeprecationWarning, stacklevel=3)
+
+    def translated(index: int) -> Optional[InitialState]:
+        value = factory(index)
+        return None if value is None else wrap(value)
+
+    return translated
+
+
 def run_trials(
     protocol: PopulationProtocol,
     predicate: ConfigPredicate,
@@ -100,12 +142,13 @@ def run_trials(
     max_interactions: int,
     seed: int = 0,
     check_interval: int = 1,
-    config_factory: Optional[ConfigFactory] = None,
-    codes_factory: Optional[CodesFactory] = None,
-    counts_factory: Optional[CountsFactory] = None,
+    init: TrialsInit = None,
     label: str = "",
     workers: Optional[int] = 1,
     backend: Optional[str] = None,
+    config_factory: Optional[ConfigFactory] = None,
+    codes_factory: Optional[CodesFactory] = None,
+    counts_factory: Optional[CountsFactory] = None,
 ) -> TrialSummary:
     """Run ``trials`` independent seeded executions and aggregate.
 
@@ -119,15 +162,15 @@ def run_trials(
     every worker count — each trial is determined by its derived seed, and
     outcomes are aggregated in trial order.
 
-    ``config_factory`` builds each trial's start configuration as state
-    objects; ``codes_factory`` builds it as encoded state codes instead
-    (finite-state protocols only) — specs then carry a small integer
-    array rather than ``n`` state objects, which is what keeps
-    ``n ≥ 10⁶`` counts-backend trials cheap to build and pickle.
-    ``counts_factory`` builds it as an ``S``-length count vector — the
-    ``O(S)`` form the counts backend consumes natively (other backends
-    expand it); at ``n = 10⁶`` a spec then carries a few hundred integers
-    instead of a million.
+    ``init`` describes each trial's start: ``None`` for a clean
+    ``n``-agent start, one :class:`~repro.sim.initial_state.InitialState`
+    shared by every trial, or a per-trial factory ``index ->
+    Optional[InitialState]`` (adversarial starts use
+    :class:`~repro.sim.initial_state.SampledStart`, which ships as an
+    ``O(1)`` handle and materializes in whichever representation the
+    backend asks for).  The deprecated ``config_factory=``/
+    ``codes_factory=``/``counts_factory=`` kwargs are translated into
+    such a factory for one release, with a ``DeprecationWarning``.
 
     ``backend`` names a registered execution engine
     (:mod:`repro.sim.backends`; ``None`` resolves ``$REPRO_BENCH_BACKEND``,
@@ -136,20 +179,21 @@ def run_trials(
     downstream — :func:`repro.sim.parallel.run_trial` in whichever
     process, :func:`repro.sim.backends.make_simulation` — does a pure
     registry lookup that never consults the environment, so workers
-    cannot disagree with their parent about which engine ran.
+    cannot disagree with their parent about which engine ran.  A backend
+    with a native ``trial_runner`` (the batch engine) takes the whole
+    spec list as one in-process batch; ``workers`` is irrelevant there —
+    the batch engine's lockstep matrix *is* its parallelism.
     """
     engine = resolve_backend(backend)
-    factories = (config_factory, codes_factory, counts_factory)
-    if sum(factory is not None for factory in factories) > 1:
-        raise ValueError(
-            "provide at most one of config_factory, codes_factory and counts_factory"
-        )
+    init = _coerce_init_argument(init, config_factory, codes_factory, counts_factory)
+
+    def init_for(index: int) -> Optional[InitialState]:
+        if init is None or isinstance(init, InitialState):
+            return init
+        return init(index)
 
     def build_spec(index: int) -> TrialSpec:
-        config = config_factory(index) if config_factory is not None else None
-        codes = codes_factory(index) if codes_factory is not None else None
-        counts = counts_factory(index) if counts_factory is not None else None
-        explicit_start = config is not None or codes is not None or counts is not None
+        start = init_for(index)
         return TrialSpec(
             index=index,
             protocol=protocol,
@@ -157,21 +201,27 @@ def run_trials(
             seed=derive_seed(seed, index),
             max_interactions=max_interactions,
             check_interval=check_interval,
-            config=config,
-            n=None if explicit_start else n,
+            init=start,
+            n=None if start is not None else n,
             backend=engine,
-            codes=codes,
-            counts=counts,
         )
 
-    # A generator keeps the sequential path at O(one config) peak memory:
-    # each spec is built, run, and discarded in turn.  The parallel path
-    # materializes the list (the pool needs every spec up front anyway).
-    specs = (build_spec(index) for index in range(trials))
+    entry = get_backend(engine)
+    if entry.trial_runner is not None:
+        # Native batch execution: the whole spec list becomes one engine.
+        outcomes = entry.trial_runner([build_spec(index) for index in range(trials)])
+    else:
+        # A generator keeps the sequential path at O(one config) peak
+        # memory: each spec is built, run, and discarded in turn.  The
+        # parallel path materializes the list (the pool needs every spec
+        # up front anyway).
+        outcomes = run_trial_specs(
+            (build_spec(index) for index in range(trials)), workers=workers
+        )
     interactions: list[float] = []
     times: list[float] = []
     converged = 0
-    for outcome in run_trial_specs(specs, workers=workers):
+    for outcome in outcomes:
         if outcome.converged:
             converged += 1
             interactions.append(outcome.interactions)

@@ -11,8 +11,12 @@ Contracts gated here:
   consult the environment;
 * capability checks: the object engine runs everything, the vectorized
   engines reject protocols without a finite encoding, with a reason;
-* ``make_simulation`` routes to the right engine class and translates the
-  shared ``codes=`` initial-configuration currency for each of them;
+* ``make_simulation`` routes to the right engine class and materializes
+  one ``init=`` :class:`~repro.sim.initial_state.InitialState` into each
+  engine's native form;
+* the deprecated ``config=``/``codes=``/``counts=`` kwargs go through
+  the one-release shim — a ``DeprecationWarning`` and a start identical
+  to the ``init=`` path;
 * the dispatch sites themselves (``simulation``/``trials``/``sweep``/
   ``cli``) contain no hardcoded backend-name conditionals.
 """
@@ -29,6 +33,9 @@ from repro.core.elect_leader import ElectLeader
 from repro.core.params import ProtocolParams
 from repro.sim import backends
 from repro.sim.backends import (
+    NATIVE_CODES,
+    NATIVE_CONFIG,
+    NATIVE_COUNTS,
     Backend,
     backend_names,
     get_backend,
@@ -37,6 +44,7 @@ from repro.sim.backends import (
     resolve_backend,
     supports_backend,
 )
+from repro.sim.initial_state import CodeArray, CountVector
 from repro.sim.simulation import Simulation
 
 
@@ -44,7 +52,7 @@ class TestRegistry:
     def test_builtins_registered_default_first(self):
         names = backend_names()
         assert names[0] == "object"
-        assert set(names) >= {"object", "array", "counts"}
+        assert set(names) >= {"object", "array", "counts", "batch"}
 
     def test_get_backend_unknown_lists_known(self):
         with pytest.raises(ValueError, match="unknown backend 'gpu'.*object"):
@@ -59,12 +67,13 @@ class TestRegistry:
                         supports=lambda p: None)
             )
 
-    def test_fourth_backend_is_one_registration(self):
+    def test_fifth_backend_is_one_registration(self):
         """The extension contract: register → every entry point sees it."""
         calls = {}
 
-        def factory(protocol, *, config=None, n=None, seed=0, codes=None, counts=None):
+        def factory(protocol, *, init=None, n=None, seed=0):
             calls["built"] = True
+            config = init.to_config(protocol) if init is not None else None
             return Simulation(protocol, config=config, n=n, seed=seed)
 
         register_backend(
@@ -83,13 +92,23 @@ class TestRegistry:
         register_backend(original, replace=True)  # no-op re-registration
         assert get_backend("object") is original
 
-    def test_counts_native_flags(self):
-        # The counts engine is the only one whose native configuration is
-        # a count vector — the flag callers use to pick an adversary's
-        # O(S) twin without naming backends.
-        assert get_backend("counts").counts_native
-        assert not get_backend("object").counts_native
-        assert not get_backend("array").counts_native
+    def test_native_forms(self):
+        # Each engine declares which InitialState materialization it asks
+        # for — the registry-level fact that replaced the old
+        # counts_native boolean.
+        assert get_backend("counts").native_form == NATIVE_COUNTS
+        assert get_backend("batch").native_form == NATIVE_COUNTS
+        assert get_backend("object").native_form == NATIVE_CONFIG
+        assert get_backend("array").native_form == NATIVE_CODES
+
+    def test_batch_entry_hooks(self):
+        # The batch engine is the only one with whole-batch execution
+        # hooks: a trial_runner for run_trials and cell-grouped sweeps.
+        batch = get_backend("batch")
+        assert batch.trial_runner is not None and batch.batch_cells
+        for name in ("object", "array", "counts"):
+            entry = get_backend(name)
+            assert entry.trial_runner is None and not entry.batch_cells
 
 
 class TestResolution:
@@ -120,13 +139,13 @@ class TestCapabilities:
         elect = ElectLeader(ProtocolParams(n=16, r=2))
         assert supports_backend(elect, "object") is None
 
-    @pytest.mark.parametrize("name", ["array", "counts"])
+    @pytest.mark.parametrize("name", ["array", "counts", "batch"])
     def test_vectorized_engines_reject_elect_leader(self, name):
         elect = ElectLeader(ProtocolParams(n=16, r=2))
         reason = supports_backend(elect, name)
         assert reason is not None and "finite state encoding" in reason
 
-    @pytest.mark.parametrize("name", ["array", "counts"])
+    @pytest.mark.parametrize("name", ["array", "counts", "batch"])
     def test_vectorized_engines_accept_finite_state(self, name):
         assert supports_backend(PairwiseElimination(8), name) is None
 
@@ -140,6 +159,7 @@ class TestMakeSimulation:
     def test_routes_to_engine_classes(self):
         pytest.importorskip("numpy")
         from repro.sim.array_backend import ArraySimulation
+        from repro.sim.batch_backend import BatchCountsEngine
         from repro.sim.counts_backend import CountsSimulation
 
         protocol = PairwiseElimination(8)
@@ -150,39 +170,43 @@ class TestMakeSimulation:
         assert isinstance(
             make_simulation(protocol, n=8, backend="counts"), CountsSimulation
         )
+        assert isinstance(
+            make_simulation(protocol, n=8, backend="batch"), BatchCountsEngine
+        )
 
-    def test_codes_reach_every_engine_identically(self):
+    def test_init_reaches_every_engine_natively(self):
         np = pytest.importorskip("numpy")
         protocol = PairwiseElimination(8)
         codes = [1, 0, 1, 0, 0, 0, 1, 0]
-        object_sim = make_simulation(protocol, codes=codes, backend="object")
-        array_sim = make_simulation(protocol, codes=codes, backend="array")
-        counts_sim = make_simulation(protocol, codes=codes, backend="counts")
+        init = CodeArray(codes)
+        object_sim = make_simulation(protocol, init=init, backend="object")
+        array_sim = make_simulation(protocol, init=init, backend="array")
+        counts_sim = make_simulation(protocol, init=init, backend="counts")
         assert [protocol.encode_state(s) for s in object_sim.config] == codes
         assert array_sim.codes.tolist() == codes
         assert counts_sim.counts.tolist() == np.bincount(codes, minlength=2).tolist()
 
-    def test_counts_reach_every_engine_identically(self):
+    def test_count_vector_reaches_every_engine_identically(self):
         np = pytest.importorskip("numpy")
         from repro.sim.counts_backend import CountsSimulation
 
         protocol = PairwiseElimination(8)
-        counts = [5, 3]
-        object_sim = make_simulation(protocol, counts=counts, backend="object")
-        array_sim = make_simulation(protocol, counts=counts, backend="array")
-        counts_sim = make_simulation(protocol, counts=counts, backend="counts")
+        init = CountVector([5, 3])
+        object_sim = make_simulation(protocol, init=init, backend="object")
+        array_sim = make_simulation(protocol, init=init, backend="array")
+        counts_sim = make_simulation(protocol, init=init, backend="counts")
         assert isinstance(counts_sim, CountsSimulation)
         assert sorted(protocol.encode_state(s) for s in object_sim.config) == \
             [0] * 5 + [1] * 3
         assert np.sort(array_sim.codes).tolist() == [0] * 5 + [1] * 3
-        assert counts_sim.counts.tolist() == counts
+        assert counts_sim.counts.tolist() == [5, 3]
 
     def test_counts_expand_to_fresh_objects_on_the_object_engine(self):
         # The object engine mutates states in place, so the expansion must
         # never alias two agents to one decoded object (the counts
         # backend's shared-object expansion is read-only-safe only).
         protocol = PairwiseElimination(6)
-        sim = make_simulation(protocol, counts=[0, 6], backend="object")
+        sim = make_simulation(protocol, init=CountVector([0, 6]), backend="object")
         assert len({id(state) for state in sim.config}) == 6
 
     def test_counts_length_is_validated(self):
@@ -190,7 +214,36 @@ class TestMakeSimulation:
         protocol = PairwiseElimination(8)
         for backend in ("object", "array", "counts"):
             with pytest.raises((ValueError, RuntimeError)):
-                make_simulation(protocol, counts=[1, 2, 3], backend=backend)
+                make_simulation(protocol, init=CountVector([1, 2, 3]), backend=backend)
+
+    def test_init_rejects_non_initial_state(self):
+        protocol = PairwiseElimination(8)
+        with pytest.raises(TypeError, match="InitialState"):
+            make_simulation(protocol, init=[0] * 8)
+
+
+class TestLegacyKwargShim:
+    """``config=``/``codes=``/``counts=`` keep working for one release."""
+
+    def test_legacy_kwargs_warn_and_match_init(self):
+        np = pytest.importorskip("numpy")
+        protocol = PairwiseElimination(8)
+        codes = [1, 0, 1, 0, 0, 0, 1, 0]
+        with pytest.deprecated_call():
+            legacy = make_simulation(protocol, codes=codes, backend="counts")
+        modern = make_simulation(protocol, init=CodeArray(codes), backend="counts")
+        assert np.array_equal(legacy.counts, modern.counts)
+        with pytest.deprecated_call():
+            legacy = make_simulation(protocol, counts=[5, 3], backend="object")
+        modern = make_simulation(protocol, init=CountVector([5, 3]), backend="object")
+        assert [protocol.encode_state(s) for s in legacy.config] == \
+            [protocol.encode_state(s) for s in modern.config]
+
+    def test_legacy_config_warns(self):
+        protocol = PairwiseElimination(8)
+        with pytest.deprecated_call():
+            sim = make_simulation(protocol, config=protocol.clean_configuration(8))
+        assert isinstance(sim, Simulation) and sim.n == 8
 
     def test_config_codes_and_counts_are_exclusive(self):
         protocol = PairwiseElimination(8)
@@ -200,6 +253,13 @@ class TestMakeSimulation:
             )
         with pytest.raises(ValueError, match="at most one"):
             make_simulation(protocol, codes=[0] * 8, counts=[8, 0])
+
+    def test_init_and_legacy_kwargs_are_exclusive(self):
+        protocol = PairwiseElimination(8)
+        with pytest.raises(ValueError, match="not both"):
+            make_simulation(
+                protocol, init=CountVector([8, 0]), counts=[8, 0], backend="object"
+            )
 
 
 class TestNoHardcodedDispatch:

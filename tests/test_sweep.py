@@ -608,3 +608,195 @@ class TestCountsBackendSweep:
             result = run_sweep(grid, workers=workers)
             tables.append(format_table(result.rows))
         assert tables[0] == tables[1]
+
+
+class TestBurstSizeAxis:
+    """Burst size is a first-class grid axis (fault cells only)."""
+
+    def burst_grid(self, **overrides):
+        settings = dict(
+            protocols=("loosely_stabilizing",),
+            ns=(16,),
+            adversaries=(CLEAN,),
+            fault_rates=(0.0, 0.5),
+            fault_models=("scramble_burst",),
+            burst_sizes=(1, 4),
+            trials=1,
+            seed=3,
+            max_interactions=20_000,
+            check_interval=500,
+        )
+        settings.update(overrides)
+        return small_grid(**settings)
+
+    def test_expansion_and_zero_rate_collapse(self):
+        specs = expand_grid(self.burst_grid())
+        cells = {(spec.fault_rate, spec.burst_size) for spec in specs}
+        # Zero-rate cells collapse the burst axis to 1; fault cells sweep it.
+        assert cells == {(0.0, 1), (0.5, 1), (0.5, 4)}
+
+    def test_burst_axis_is_last_so_default_grids_expand_unchanged(self):
+        base = small_grid()
+        with_axis = small_grid(burst_sizes=(1,))
+        stripped = [
+            {k: v for k, v in spec.__dict__.items() if k != "burst_size"}
+            for spec in expand_grid(with_axis)
+        ]
+        assert stripped == [
+            {k: v for k, v in spec.__dict__.items() if k != "burst_size"}
+            for spec in expand_grid(base)
+        ]
+
+    def test_rejects_bad_burst_sizes(self):
+        with pytest.raises(SweepError, match="burst size"):
+            small_grid(burst_sizes=(0,))
+        with pytest.raises(SweepError, match="burst_sizes"):
+            small_grid(burst_sizes=())
+
+    def test_burst_size_reaches_the_fault_engine(self):
+        pytest.importorskip("numpy")
+        from repro.sim.fault_engine import FaultEngine
+
+        seen: list[int] = []
+        original = FaultEngine.__init__
+
+        def recording(self, model, protocol, *, n, rate, burst_size, seed):
+            seen.append(burst_size)
+            original(self, model, protocol, n=n, rate=rate,
+                     burst_size=burst_size, seed=seed)
+
+        specs = [s for s in expand_grid(self.burst_grid()) if s.fault_rate > 0]
+        try:
+            FaultEngine.__init__ = recording
+            for spec in specs:
+                run_scenario(spec)
+        finally:
+            FaultEngine.__init__ = original
+        assert sorted(seen) == [1, 4]
+
+    def test_burst_size_in_records_and_rows(self):
+        pytest.importorskip("numpy")
+        from repro.sim.sweep import ScenarioOutcome
+
+        specs = expand_grid(self.burst_grid())
+        spec = next(s for s in specs if s.burst_size == 4)
+        outcome = run_scenario(spec)
+        record = outcome.to_record()
+        assert record["burst_size"] == 4
+        assert ScenarioOutcome.from_record(record) == outcome
+        # Pre-axis records default to 1.
+        del record["burst_size"]
+        assert ScenarioOutcome.from_record(record).burst_size == 1
+        rows = aggregate_rows(specs, [run_scenario(s) for s in specs])
+        by_burst = {row["burst_size"] for row in rows}
+        assert by_burst == {"-", 1, 4}
+
+    def test_pre_burst_axis_checkpoint_still_resumes(self, tmp_path):
+        # A checkpoint written before the burst axis existed carries no
+        # "burst_sizes" grid key: defaulting it keeps the file resumable.
+        pytest.importorskip("numpy")
+        grid = self.burst_grid(fault_rates=(0.0,), burst_sizes=(1,))
+        path = tmp_path / "legacy.jsonl"
+        run_sweep(grid, workers=1, jsonl_path=path)
+        lines = path.read_text().splitlines()
+        meta = json.loads(lines[0])
+        meta["grid"].pop("burst_sizes")
+        trials = []
+        for line in lines[1:]:
+            record = json.loads(line)
+            record.pop("burst_size")
+            trials.append(json.dumps(record, separators=(",", ":")))
+        path.write_text("\n".join([json.dumps(meta, separators=(",", ":")), *trials]) + "\n")
+        specs = expand_grid(grid)
+        outcomes, _ = load_checkpoint(path, grid, specs)
+        assert len(outcomes) == len(specs)
+
+
+class TestBatchBackendSweep:
+    """--backend batch runs whole cells as one lockstep engine."""
+
+    def batch_grid(self, **overrides):
+        settings = dict(
+            protocols=("cai_izumi_wada", "loosely_stabilizing"),
+            ns=(10, 16),
+            adversaries=(CLEAN, "scramble"),
+            trials=3,
+            seed=11,
+            max_interactions=2_000_000,
+            check_interval=250,
+            backend="batch",
+        )
+        settings.update(overrides)
+        return small_grid(**settings)
+
+    def test_single_trial_cells_match_counts_backend_exactly(self):
+        # One-trial cells delegate to a CountsSimulation with the same
+        # seed, so everything but the backend label is bit-identical to
+        # the per-trial counts sweep.
+        pytest.importorskip("numpy")
+        batch = run_sweep(self.batch_grid(trials=1))
+        counts = run_sweep(self.batch_grid(trials=1, backend="counts"))
+        for b, c in zip(batch.outcomes, counts.outcomes):
+            assert b.backend == "batch" and c.backend == "counts"
+            assert (b.converged, b.interactions, b.parallel_time) == \
+                (c.converged, c.interactions, c.parallel_time)
+
+    def test_end_to_end_with_resume_byte_identical(self, tmp_path):
+        pytest.importorskip("numpy")
+        grid = self.batch_grid()
+        full = tmp_path / "full.jsonl"
+        result = run_sweep(grid, workers=1, jsonl_path=full)
+        assert all(outcome.converged for outcome in result.outcomes)
+        full_bytes = full.read_bytes()
+        assert b'"backend":"batch"' in full_bytes
+        # Kill mid-stream (partial final line, mid-cell) and resume: the
+        # interrupted cell re-runs deterministically and only its missing
+        # rows are appended.
+        resumed = tmp_path / "resumed.jsonl"
+        resumed.write_bytes(full_bytes[: len(full_bytes) * 2 // 5])
+        result2 = run_sweep(grid, jsonl_path=resumed, resume=True)
+        assert resumed.read_bytes() == full_bytes
+        assert result2.resumed_trials > 0
+        assert result2.outcomes == result.outcomes
+
+    def test_sweep_is_deterministic_across_runs(self):
+        pytest.importorskip("numpy")
+        grid = self.batch_grid(ns=(10,), adversaries=(CLEAN,))
+        first = run_sweep(grid)
+        second = run_sweep(grid)
+        assert first.outcomes == second.outcomes
+
+    def test_fault_cells_run_batched(self):
+        pytest.importorskip("numpy")
+        grid = self.batch_grid(
+            protocols=("loosely_stabilizing",), ns=(16,),
+            adversaries=(CLEAN,), fault_rates=(0.5,),
+            fault_models=("scramble_burst",), burst_sizes=(1, 2),
+            trials=2, max_interactions=20_000, check_interval=500,
+        )
+        result = run_sweep(grid)
+        fault_outcomes = [o for o in result.outcomes if o.fault_rate > 0]
+        assert fault_outcomes
+        assert all(o.fault_bursts > 0 for o in fault_outcomes)
+        assert all(o.availability is not None for o in fault_outcomes)
+        assert {o.burst_size for o in fault_outcomes} == {1, 2}
+
+    def test_fault_cell_burst_schedules_match_per_trial_engines(self):
+        # The per-row burst schedule is a pure function of the spec seed,
+        # so the batched sweep and the per-trial counts sweep agree on
+        # every row's burst count.
+        pytest.importorskip("numpy")
+        settings = dict(
+            protocols=("loosely_stabilizing",), ns=(16,),
+            adversaries=(CLEAN,), fault_rates=(0.5,),
+            fault_models=("scramble_burst",),
+            trials=2, max_interactions=20_000, check_interval=500,
+        )
+        batch = run_sweep(self.batch_grid(**settings))
+        counts = run_sweep(self.batch_grid(backend="counts", **settings))
+        assert [o.fault_bursts for o in batch.outcomes] == \
+            [o.fault_bursts for o in counts.outcomes]
+
+    def test_elect_leader_grid_is_rejected_loudly(self):
+        with pytest.raises(SweepError, match="batch"):
+            small_grid(protocols=("elect_leader",), backend="batch")

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import time
 
-from conftest import FAST, update_perf_summary, run_once
+from conftest import FAST, run_once, update_perf_summary
 
 from repro.analysis.stats import bootstrap_ci
 from repro.baselines.cai_izumi_wada import CaiIzumiWada
@@ -38,13 +38,14 @@ from repro.core.elect_leader import ElectLeader
 from repro.core.params import BaselineParams, ProtocolParams
 from repro.core.propagate_reset import ResetEpidemicProtocol
 from repro.scheduler.rng import make_rng
+from repro.scheduler.scheduler import RecordedSchedule
 from repro.sim.array_backend import (
     ArrayBackendError,
     ArraySimulation,
     replay_array,
     transition_table_for,
 )
-from repro.scheduler.scheduler import RecordedSchedule
+from repro.sim.initial_state import ObjectConfig
 from repro.sim.replay import replay
 from repro.sim.simulation import Simulation
 from repro.sim.trials import run_trials
@@ -182,8 +183,8 @@ def test_e19_cross_backend_equivalence(benchmark, record_table):
                     max_interactions=budget,
                     seed=31,
                     check_interval=64,
-                    config_factory=(
-                        (lambda index: config_of(make_rng(1000 + index)))
+                    init=(
+                        (lambda index: ObjectConfig(config_of(make_rng(1000 + index))))
                         if config_of(make_rng(0)) is not None else None
                     ),
                     label=f"{name}/{backend}",

@@ -42,6 +42,7 @@ from conftest import FAST, run_once, update_perf_summary
 from repro.sim.backends import make_simulation
 from repro.sim.counts_backend import goal_counts_predicate
 from repro.sim.fault_engine import make_fault_engine
+from repro.sim.initial_state import CodeArray
 from repro.substrates.epidemics import EpidemicProtocol
 
 #: The acceptance bar (≥ 10×) applies at the full n = 10⁶ configuration;
@@ -71,8 +72,8 @@ def _infected_codes(n: int):
 def _measure(protocol, predicate, backend: str, n: int, *, rate=RATE, seed=21,
              total=None, model="crash_reset"):
     """One availability run; returns (report, seconds, burst schedule)."""
-    sim = make_simulation(protocol, codes=_infected_codes(n), seed=seed,
-                          backend=backend)
+    sim = make_simulation(protocol, init=CodeArray(_infected_codes(n)),
+                          seed=seed, backend=backend)
     engine = make_fault_engine(model, protocol, n=n, rate=rate, burst_size=BURST,
                                seed=seed + 1)
     start = time.perf_counter()

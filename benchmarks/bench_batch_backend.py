@@ -34,7 +34,6 @@ mirroring the other vectorized engines' assertions.
 
 from __future__ import annotations
 
-import random
 import statistics
 import time
 
@@ -42,6 +41,7 @@ from conftest import FAST, run_once, update_perf_summary
 
 from repro.core.elect_leader import ElectLeader
 from repro.core.params import ProtocolParams
+from repro.scheduler.rng import RNG, make_rng
 from repro.sim.backends import make_simulation
 from repro.sim.batch_backend import BatchCountsEngine
 from repro.sim.counts_backend import CountsBackendError, goal_counts_predicate
@@ -68,7 +68,7 @@ def _seeded_start(n: int) -> CountVector:
     return CountVector([n - 1, 1])  # one infected source
 
 
-def _bootstrap_ci(values: list[float], rng: random.Random) -> tuple[float, float]:
+def _bootstrap_ci(values: list[float], rng: RNG) -> tuple[float, float]:
     medians = sorted(
         statistics.median(rng.choices(values, k=len(values)))
         for _ in range(BOOTSTRAP)
@@ -130,7 +130,7 @@ def test_e22_batch_backend_speedup(benchmark, record_table):
     # completion interactions agree up to bootstrap-CI overlap.
     assert counts_summary.converged == TRIALS, rows
     assert batch_summary.converged == TRIALS, rows
-    rng = random.Random(22)
+    rng = make_rng(22)
     counts_lo, counts_hi = _bootstrap_ci(counts_summary.interactions, rng)
     batch_lo, batch_hi = _bootstrap_ci(batch_summary.interactions, rng)
     ci_overlap = counts_lo <= batch_hi and batch_lo <= counts_hi

@@ -19,6 +19,7 @@ from repro.analysis.theory import elect_leader_interactions
 from repro.core.elect_leader import ElectLeader
 from repro.core.params import ProtocolParams
 from repro.scheduler.rng import derive_seed, make_rng
+from repro.sim.initial_state import ObjectConfig
 from repro.sim.trials import run_trials
 
 N = 32
@@ -36,7 +37,7 @@ def test_e4_recovery_per_adversary(benchmark, record_table):
             adversary = ADVERSARIES[name]
 
             def factory(index: int, adversary=adversary):
-                return adversary(protocol, make_rng(derive_seed(4000, index)))
+                return ObjectConfig(adversary(protocol, make_rng(derive_seed(4000, index))))
 
             summary = run_trials(
                 protocol,
@@ -46,7 +47,7 @@ def test_e4_recovery_per_adversary(benchmark, record_table):
                 max_interactions=int(envelope),
                 seed=4100,
                 check_interval=1000,
-                config_factory=factory,
+                init=factory,
                 label=name,
                 workers=WORKERS,
             )

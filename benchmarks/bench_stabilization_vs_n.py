@@ -34,6 +34,7 @@ from repro.analysis.theory import (
 )
 from repro.core.elect_leader import ElectLeader
 from repro.core.params import ProtocolParams
+from repro.sim.initial_state import CodeArray
 from repro.sim.trials import run_trials
 
 NS = fast_scaled([16, 24, 32, 48, 64, 96], [16, 24, 32])
@@ -132,7 +133,7 @@ def test_e2b_table_protocol_stabilization_vs_n_counts(benchmark, record_table):
                 max_interactions=30 * n,
                 seed=2_000 + n,
                 check_interval=max(1, n // 8),
-                codes_factory=lambda index, n=n: seeded_codes(n, 1),
+                init=lambda index, n=n: CodeArray(seeded_codes(n, 1)),
                 label=f"epidemic/n={n}",
                 workers=WORKERS,
                 backend="counts",
@@ -163,8 +164,8 @@ def test_e2b_table_protocol_stabilization_vs_n_counts(benchmark, record_table):
                 max_interactions=400 * n,
                 seed=3_000 + n,
                 check_interval=max(1, n // 8),
-                codes_factory=lambda index, n=n, code=triggered: (
-                    seeded_codes(n, code)
+                init=lambda index, n=n, code=triggered: (
+                    CodeArray(seeded_codes(n, code))
                 ),
                 label=f"reset/n={n}",
                 workers=WORKERS,

@@ -347,16 +347,15 @@ def single_agent_scrambler(protocol: ElectLeader):
 
 
 def code_rng(seed: int):
-    """A PCG64 generator for the vectorized initializers."""
-    try:
-        import numpy
-    except ImportError:
-        raise RuntimeError(
-            "code-space adversaries require numpy; install it with "
-            "'pip install repro-podc25-leader-election[array]' or use the "
-            "object-layout adversary suite"
-        ) from None
-    return numpy.random.Generator(numpy.random.PCG64(seed))
+    """A PCG64 generator for the vectorized initializers.
+
+    Thin alias of :func:`repro.scheduler.rng.np_generator` — the blessed
+    stream constructor — kept so initializer signatures read as "pass a
+    code-space generator" at the call site.
+    """
+    from repro.scheduler.rng import np_generator
+
+    return np_generator(seed)
 
 
 def _encoding_size(protocol) -> int:

@@ -194,6 +194,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--sizes", type=int, nargs="+", default=[16, 64, 256, 1024, 4096]
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help="statically check the repository's reproduction contracts",
+        description="Run the AST/importlib contract checker (repro.lint) "
+        "over the source tree: RNG discipline, backend-contract "
+        "conformance, registry-only dispatch, transition purity, removed "
+        "keyword shims and counts dtype width.  Exits 0 when clean, 1 "
+        "when any rule fires.",
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to check (default: src, benchmarks, "
+        "examples under the current directory)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="finding output: human text or the versioned JSON document "
+        "CI archives (default: text)",
+    )
+    lint.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all registered rules)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+
     return parser
 
 
@@ -348,12 +376,35 @@ def cmd_statespace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    # Imported here, not at module top: the lint rules consult the live
+    # backend/protocol registries, and the other subcommands should not
+    # pay that import (or require numpy-adjacent modules) to parse args.
+    from repro.lint import registered_rules, render_json, render_text, run_lint
+    from repro.lint.engine import LintUsageError
+
+    if args.list_rules:
+        for rule in registered_rules():
+            print(f"{rule.rule_id} {rule.name}: {rule.summary}")
+        return 0
+    try:
+        report = run_lint(args.paths or None, rules_filter=args.rules)
+    except LintUsageError as error:
+        raise _UsageError(str(error)) from error
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.clean else 1
+
+
 COMMANDS = {
     "run": cmd_run,
     "recover": cmd_recover,
     "tradeoff": cmd_tradeoff,
     "sweep": cmd_sweep,
     "statespace": cmd_statespace,
+    "lint": cmd_lint,
 }
 
 

@@ -1,0 +1,186 @@
+"""The lint engine: discover files, parse, drive rules, apply waivers.
+
+The engine is deliberately dumb: it walks the requested roots for
+``.py`` files, parses each once, hands the parsed set to every active
+rule (file-scope checkers per file, project-scope checkers once), and
+filters the combined findings through per-line waiver comments.  All
+repository knowledge lives in the rules (:mod:`repro.lint.rules`).
+
+**Waivers.**  A finding is suppressed when the physical line it points
+at carries a ``# repro-lint: disable=LXXX`` comment naming its rule
+(comma-separated ids waive several rules on one line, ``disable=all``
+waives every rule).  Waivers are per-line on purpose: a file-wide
+escape hatch would make "the tree is clean" unfalsifiable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.lint.registry import (
+    Finding,
+    LintRule,
+    ProjectContext,
+    RuleSelection,
+    SourceFile,
+)
+
+#: The roots ``repro lint`` scans when none are named: the shipped
+#: package plus the benchmark and example trees (ISSUE: tests are
+#: exercised by pytest and may legitimately poke engine internals).
+DEFAULT_LINT_ROOTS: tuple[str, ...] = ("src", "benchmarks", "examples")
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", "results", ".pytest_cache"}
+
+#: The waiver comment: ``# repro-lint: disable=L001`` / ``=L001,L003`` /
+#: ``=all``.  Matched anywhere in the physical line, so it can trail code.
+_WAIVER_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+)")
+
+
+class LintUsageError(ValueError):
+    """A lint invocation that cannot run (bad path, bad rule id)."""
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint invocation."""
+
+    findings: list[Finding]
+    checked_files: int
+    waived: int = 0
+    #: Notes about checks that could not run (e.g. numpy missing for the
+    #: importlib half) — surfaced in reports, never silently dropped.
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def _iter_python_files(root: Path) -> Iterable[Path]:
+    if root.is_file():
+        if root.suffix == ".py":
+            yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        if not any(part in _SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def discover_files(paths: Sequence[Path], *, base: Path) -> list[SourceFile]:
+    """Parse every ``.py`` file under ``paths`` (syntax errors are loud:
+    a tree the linter cannot parse cannot be certified clean)."""
+    files: list[SourceFile] = []
+    seen: set[Path] = set()
+    for root in paths:
+        if not root.exists():
+            raise LintUsageError(f"lint path does not exist: {root}")
+        for path in _iter_python_files(root):
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            text = path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(text, filename=str(path))
+            except SyntaxError as error:
+                raise LintUsageError(
+                    f"cannot parse {path}: {error.msg} (line {error.lineno})"
+                ) from error
+            try:
+                relpath = resolved.relative_to(base.resolve()).as_posix()
+            except ValueError:
+                relpath = path.as_posix()
+            files.append(
+                SourceFile(path=path, relpath=relpath, text=text, tree=tree)
+            )
+    return files
+
+
+def waived_rules_by_line(text: str) -> dict[int, set[str]]:
+    """Map 1-indexed line numbers to the rule ids waived on that line."""
+    waivers: dict[int, set[str]] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        match = _WAIVER_RE.search(line)
+        if match is None:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        waivers[number] = ids
+    return waivers
+
+
+def _is_waived(finding: Finding, waivers: dict[str, dict[int, set[str]]]) -> bool:
+    by_line = waivers.get(finding.path)
+    if not by_line:
+        return False
+    ids = by_line.get(finding.line, set())
+    return finding.rule in ids or "all" in ids
+
+
+def run_lint(
+    paths: Optional[Sequence[str]] = None,
+    *,
+    base: Optional[Path] = None,
+    rules_filter: Optional[str] = None,
+) -> LintReport:
+    """Run the active rules over ``paths`` (default: the shipped roots).
+
+    ``base`` anchors relative finding paths (default: the current
+    working directory); ``rules_filter`` is the comma-separated ``--rules``
+    selection.  Findings come back sorted by (path, line, rule) with
+    waived lines removed and the waiver count reported.
+    """
+    base = (base or Path.cwd()).resolve()
+    if paths:
+        roots = [Path(p) if Path(p).is_absolute() else base / p for p in paths]
+    else:
+        roots = [base / name for name in DEFAULT_LINT_ROOTS if (base / name).exists()]
+        if not roots:
+            raise LintUsageError(
+                f"none of the default lint roots {DEFAULT_LINT_ROOTS} exist "
+                f"under {base}; name paths explicitly"
+            )
+    try:
+        selection = RuleSelection.parse(rules_filter)
+    except ValueError as error:
+        # Registry lookups raise plain ValueError; the CLI renders only
+        # LintUsageError as a clean usage line.
+        raise LintUsageError(str(error)) from None
+    active: tuple[LintRule, ...] = selection.active_rules()
+
+    files = discover_files(roots, base=base)
+    context = ProjectContext(root=base, files=files)
+
+    findings: list[Finding] = []
+    notes: list[str] = []
+    for rule in active:
+        if rule.check_file is not None:
+            for source in files:
+                findings.extend(rule.check_file(source))
+        if rule.check_project is not None:
+            collected = rule.check_project(context)
+            for item in collected:
+                # Project checkers may smuggle capability notes back as
+                # pseudo-findings on rule id "note"; keep real findings
+                # and notes separate in the report.
+                if item.rule == "note":
+                    notes.append(item.message)
+                else:
+                    findings.append(item)
+
+    waivers = {
+        source.relpath: waived_rules_by_line(source.text) for source in files
+    }
+    kept = [f for f in findings if not _is_waived(f, waivers)]
+    kept.sort(key=lambda f: (f.path, f.line, f.rule))
+    return LintReport(
+        findings=kept,
+        checked_files=len(files),
+        waived=len(findings) - len(kept),
+        notes=notes,
+    )

@@ -1,0 +1,175 @@
+"""The lint-rule registry — one place that knows every rule.
+
+Mirrors the backend registry (:mod:`repro.sim.backends`): a rule is a
+small frozen record registered under a stable id, every consumer (the
+engine, the CLI's ``--rules`` filter and ``--list-rules``, the JSON
+report's rule table) derives from the registry, and adding a rule is one
+:func:`register_rule` call — no dispatch site names a rule id in an
+``if``/``elif`` chain.
+
+A rule may have a *file* checker (pure AST, run once per scanned
+source file), a *project* checker (run once per lint invocation with the
+whole file set — this is where the ``importlib`` half of the hybrid
+analyzer lives: constructing registered backends, building transition
+tables), or both.  Findings from either checker carry the same shape.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a file:line, with a fix hint."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    hint: str = ""
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One parsed source file handed to file-scope checkers."""
+
+    path: Path
+    #: Path relative to the lint root, POSIX-style (stable across hosts).
+    relpath: str
+    text: str
+    tree: ast.Module
+
+    @property
+    def basename(self) -> str:
+        return self.path.name
+
+
+@dataclass(frozen=True)
+class ProjectContext:
+    """The whole scanned file set handed to project-scope checkers."""
+
+    root: Path
+    files: Sequence[SourceFile]
+
+    def relpath(self, path: Path) -> str:
+        """``path`` relative to the lint root (falls back to absolute)."""
+        try:
+            return path.resolve().relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+
+#: File-scope checker: findings for one parsed source file.
+FileCheck = Callable[[SourceFile], Iterable[Finding]]
+
+#: Project-scope checker: findings for the whole invocation.
+ProjectCheck = Callable[[ProjectContext], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered rule (see the module docstring).
+
+    ``rule_id`` is the stable ``LXXX`` id used in findings, waiver
+    comments (``# repro-lint: disable=LXXX``) and the CLI ``--rules``
+    filter; ``name`` is the short kebab-case label; ``summary`` one line
+    for ``--list-rules`` and the JSON rule table; ``hint`` the default
+    fix hint attached to findings that do not carry their own.
+    """
+
+    rule_id: str
+    name: str
+    summary: str
+    hint: str = ""
+    check_file: Optional[FileCheck] = None
+    check_project: Optional[ProjectCheck] = None
+
+    def __post_init__(self) -> None:
+        if self.check_file is None and self.check_project is None:
+            raise ValueError(
+                f"rule {self.rule_id} must define a file or project checker"
+            )
+
+    def finding(self, path: str, line: int, message: str, hint: str = "") -> Finding:
+        """Build a finding for this rule (default hint applied)."""
+        return Finding(
+            rule=self.rule_id,
+            path=path,
+            line=line,
+            message=message,
+            hint=hint or self.hint,
+        )
+
+
+#: Rule id → LintRule, in registration order (report order follows it).
+_REGISTRY: dict[str, LintRule] = {}
+
+
+def register_rule(rule: LintRule, *, replace: bool = False) -> LintRule:
+    """Add a rule to the registry (the one-call extension point).
+
+    Registering an id twice is an error unless ``replace=True`` —
+    accidental shadowing of a shipped rule should be loud.
+    """
+    rule_id = rule.rule_id
+    if not (
+        len(rule_id) == 4 and rule_id[0] == "L" and rule_id[1:].isdigit()
+    ):
+        raise ValueError(f"rule id must look like 'L001', got {rule_id!r}")
+    if rule_id in _REGISTRY and not replace:
+        raise ValueError(f"rule '{rule_id}' is already registered")
+    _REGISTRY[rule_id] = rule
+    return rule
+
+
+def rule_ids() -> tuple[str, ...]:
+    """All registered rule ids, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def registered_rules() -> tuple[LintRule, ...]:
+    """All registered rules, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def get_rule(rule_id: str) -> LintRule:
+    """Pure registry lookup; unknown ids fail with the known set."""
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(rule_ids())
+        raise ValueError(f"unknown lint rule '{rule_id}' (known: {known})") from None
+
+
+@dataclass
+class RuleSelection:
+    """A validated ``--rules`` filter (all rules when empty)."""
+
+    selected: tuple[str, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def parse(cls, spec: Optional[str]) -> "RuleSelection":
+        if not spec:
+            return cls()
+        ids = tuple(part.strip() for part in spec.split(",") if part.strip())
+        for rule_id in ids:
+            get_rule(rule_id)  # unknown ids fail loudly here
+        return cls(selected=ids)
+
+    def active_rules(self) -> tuple[LintRule, ...]:
+        if not self.selected:
+            return registered_rules()
+        return tuple(get_rule(rule_id) for rule_id in self.selected)

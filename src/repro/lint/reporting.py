@@ -1,0 +1,52 @@
+"""Finding renderers: human text and machine-readable JSON.
+
+The JSON shape is versioned and stable — CI's ``lint-contracts`` job
+uploads it as an artifact, so downstream tooling can diff finding sets
+across commits without scraping text output.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintReport
+from repro.lint.registry import registered_rules
+
+#: Bumped when the JSON shape changes incompatibly.
+JSON_VERSION = 1
+
+
+def render_text(report: LintReport, *, verbose: bool = False) -> str:
+    """``path:line: LXXX message (hint: ...)`` per finding, plus a tally."""
+    lines: list[str] = []
+    for finding in report.findings:
+        line = f"{finding.path}:{finding.line}: {finding.rule} {finding.message}"
+        if finding.hint:
+            line += f" (hint: {finding.hint})"
+        lines.append(line)
+    for note in report.notes:
+        lines.append(f"note: {note}")
+    tally = (
+        f"{len(report.findings)} finding(s) in {report.checked_files} file(s)"
+    )
+    if report.waived:
+        tally += f", {report.waived} waived"
+    lines.append(tally if report.findings else f"clean: {tally}")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The versioned machine-readable report (one JSON document)."""
+    payload = {
+        "version": JSON_VERSION,
+        "clean": report.clean,
+        "checked_files": report.checked_files,
+        "waived": report.waived,
+        "rules": {
+            rule.rule_id: {"name": rule.name, "summary": rule.summary}
+            for rule in registered_rules()
+        },
+        "findings": [finding.as_dict() for finding in report.findings],
+        "notes": list(report.notes),
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

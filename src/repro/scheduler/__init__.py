@@ -1,11 +1,13 @@
 """Uniform random pairwise scheduler and reproducible RNG utilities."""
 
-from repro.scheduler.rng import RNG, make_rng, spawn_rngs
+from repro.scheduler.rng import RNG, make_rng, np_generator, np_stream, spawn_rngs
 from repro.scheduler.scheduler import ArrayScheduler, RandomScheduler, RecordedSchedule
 
 __all__ = [
     "RNG",
     "make_rng",
+    "np_generator",
+    "np_stream",
     "spawn_rngs",
     "ArrayScheduler",
     "RandomScheduler",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
-from repro.scheduler.rng import RNG
+from repro.scheduler.rng import RNG, np_generator
 
 
 class RandomScheduler:
@@ -108,7 +108,7 @@ class ArrayScheduler:
         self.n = n
         self.seed = seed
         self._np = numpy
-        self._rng = numpy.random.Generator(numpy.random.PCG64(seed))
+        self._rng = np_generator(seed)
         self._buffer_i = None
         self._buffer_j = None
         self._cursor = 0

@@ -32,7 +32,8 @@ from repro.sim.initial_state import (
     ObjectConfig,
     Replicated,
     SampledStart,
-    coerce_legacy_init,
+    reject_removed_kwargs,
+    require_init,
 )
 from repro.sim.faults import AvailabilityReport, FaultInjector, measure_availability
 from repro.sim.metrics import Metrics
@@ -136,7 +137,8 @@ __all__ = [
     "ObjectConfig",
     "Replicated",
     "SampledStart",
-    "coerce_legacy_init",
+    "reject_removed_kwargs",
+    "require_init",
     "ArrayBackendError",
     "ArraySimulation",
     "TransitionTable",

@@ -78,7 +78,11 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
 from repro.core.protocol import PopulationProtocol
-from repro.sim.initial_state import InitialState, coerce_legacy_init
+from repro.sim.initial_state import (
+    InitialState,
+    reject_removed_kwargs,
+    require_init,
+)
 
 #: Environment variable naming the default backend (see resolve_backend).
 BACKEND_ENV = "REPRO_BENCH_BACKEND"
@@ -99,6 +103,24 @@ DEFAULT_BACKEND = BACKEND_OBJECT
 NATIVE_CONFIG = "config"
 NATIVE_CODES = "codes"
 NATIVE_COUNTS = "counts"
+
+#: The canonical engine surface: every member a registered factory's
+#: simulation object must expose (methods or attributes).  This is the
+#: single machine-readable description of the backend contract — the
+#: static contract checker (:mod:`repro.lint`, rule L002) constructs each
+#: registered engine and verifies the complete surface against this
+#: tuple, so a new registration (the planned numba/CuPy leg included)
+#: inherits the gate without touching the linter.
+ENGINE_SURFACE: tuple[str, ...] = (
+    "run",
+    "run_batch",
+    "run_until",
+    "predicate_holds",
+    "apply_fault",
+    "metrics",
+    "config",
+    "n",
+)
 
 #: Factory signature: ``factory(protocol, init=, n=, seed=)``.
 SimulationFactory = Callable[..., Any]
@@ -196,10 +218,8 @@ def make_simulation(
     n: Optional[int] = None,
     seed: int = 0,
     backend: Optional[str] = None,
-    config: Optional[list[Any]] = None,
-    codes: Optional[Sequence[int]] = None,
-    counts: Optional[Sequence[int]] = None,
-):
+    **removed: Any,
+) -> Any:
     """Build a simulation on the requested execution backend.
 
     The initial configuration is ``init`` — an
@@ -208,12 +228,12 @@ def make_simulation(
     non-``None`` name is treated as already resolved and looked up
     directly.
 
-    ``config=``/``codes=``/``counts=`` are the deprecated kwarg triple
-    this API replaced; they are translated (with a
-    ``DeprecationWarning``) into the matching ``InitialState`` member for
-    one release — see :func:`repro.sim.initial_state.coerce_legacy_init`.
+    The deprecated ``config=``/``codes=``/``counts=`` keyword triple was
+    removed after its one-release shim; passing one raises a
+    :class:`TypeError` naming the ``init=`` replacement.
     """
-    init = coerce_legacy_init(init, config=config, codes=codes, counts=counts)
+    reject_removed_kwargs("make_simulation", removed)
+    init = require_init(init)
     entry = get_backend(backend if backend is not None else resolve_backend(None))
     return entry.factory(protocol, init=init, n=n, seed=seed)
 
@@ -227,7 +247,13 @@ def make_simulation(
 # import-guard numpy themselves and raise a clear error at use time.
 
 
-def _object_factory(protocol, *, init=None, n=None, seed=0):
+def _object_factory(
+    protocol: PopulationProtocol,
+    *,
+    init: Optional[InitialState] = None,
+    n: Optional[int] = None,
+    seed: int = 0,
+) -> Any:
     from repro.sim.simulation import Simulation
 
     config = init.to_config(protocol) if init is not None else None
@@ -256,27 +282,45 @@ def _finite_state_supports(protocol: PopulationProtocol) -> Optional[str]:
     return None
 
 
-def _array_factory(protocol, *, init=None, n=None, seed=0):
+def _array_factory(
+    protocol: PopulationProtocol,
+    *,
+    init: Optional[InitialState] = None,
+    n: Optional[int] = None,
+    seed: int = 0,
+) -> Any:
     from repro.sim.array_backend import ArraySimulation
 
     codes = init.to_codes(protocol) if init is not None else None
     return ArraySimulation(protocol, n=n, seed=seed, codes=codes)
 
 
-def _counts_factory(protocol, *, init=None, n=None, seed=0):
+def _counts_factory(
+    protocol: PopulationProtocol,
+    *,
+    init: Optional[InitialState] = None,
+    n: Optional[int] = None,
+    seed: int = 0,
+) -> Any:
     from repro.sim.counts_backend import CountsSimulation
 
     counts = init.to_counts(protocol) if init is not None else None
     return CountsSimulation(protocol, n=n, seed=seed, counts=counts)
 
 
-def _batch_factory(protocol, *, init=None, n=None, seed=0):
+def _batch_factory(
+    protocol: PopulationProtocol,
+    *,
+    init: Optional[InitialState] = None,
+    n: Optional[int] = None,
+    seed: int = 0,
+) -> Any:
     from repro.sim.batch_backend import BatchCountsEngine
 
     return BatchCountsEngine(protocol, init=init, n=n, seed=seed)
 
 
-def _batch_trial_runner(specs):
+def _batch_trial_runner(specs: Sequence[Any]) -> list:
     from repro.sim.batch_backend import run_trial_batch
 
     return run_trial_batch(specs)

@@ -62,7 +62,7 @@ from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 from repro.core.protocol import PopulationProtocol
-from repro.scheduler.rng import derive_seed
+from repro.scheduler.rng import np_stream
 from repro.scheduler.scheduler import CollisionRunSampler
 from repro.sim.array_backend import require_numpy, transition_table_for
 from repro.sim.counts_backend import (
@@ -119,12 +119,8 @@ class _RowFaultState:
         self.model = model
         self.burst_size = spec.burst_size
         self.mean_gap = n / spec.rate
-        self.schedule = np.random.Generator(
-            np.random.PCG64(derive_seed(spec.seed, _SCHEDULE_STREAM))
-        )
-        self.corrupt = np.random.Generator(
-            np.random.PCG64(derive_seed(spec.seed, _CORRUPT_STREAM))
-        )
+        self.schedule = np_stream(spec.seed, _SCHEDULE_STREAM)
+        self.corrupt = np_stream(spec.seed, _CORRUPT_STREAM)
         self.next_burst = self.schedule.exponential(self.mean_gap)
         self.events: list[FaultEvent] = []
 
@@ -223,7 +219,7 @@ class BatchCountsEngine:
         self.table = transition_table_for(protocol)
         self._matrix = np.stack(vectors)
         self._codes = np.arange(size, dtype=np.int64)
-        self._generator = np.random.Generator(np.random.PCG64(derive_seed(seed, 0)))
+        self._generator = np_stream(seed, 0)
         self._runs = CollisionRunSampler(self.n, self._generator)
         # Per-ordered-pair aggregate delta: row ``i*S + j`` is the counts
         # change of one ``(i, j)`` interaction.  With it, a whole run is

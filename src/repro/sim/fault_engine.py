@@ -73,7 +73,7 @@ from weakref import WeakKeyDictionary
 
 from repro.core.elect_leader import ElectLeader
 from repro.core.protocol import PopulationProtocol
-from repro.scheduler.rng import derive_seed, make_rng
+from repro.scheduler.rng import make_rng, np_stream
 from repro.sim.array_backend import require_numpy
 from repro.sim.faults import AvailabilityAccounting, AvailabilityReport, FaultEvent
 from repro.sim.simulation import ConfigPredicate, SimulationResult
@@ -503,12 +503,8 @@ class FaultEngine:
         self.burst_size = burst_size
         self.seed = seed
         self.mean_gap = n / rate
-        self._schedule = np.random.Generator(
-            np.random.PCG64(derive_seed(seed, _SCHEDULE_STREAM))
-        )
-        self._corrupt = np.random.Generator(
-            np.random.PCG64(derive_seed(seed, _CORRUPT_STREAM))
-        )
+        self._schedule = np_stream(seed, _SCHEDULE_STREAM)
+        self._corrupt = np_stream(seed, _CORRUPT_STREAM)
         self._next_burst = self._schedule.exponential(self.mean_gap)
         self.events: list[FaultEvent] = []
 

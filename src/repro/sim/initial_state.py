@@ -43,20 +43,29 @@ numpy-optional object runtime.  Materialization is pure: a
 call, so the same value yields the same start on every backend and in
 every process.
 
-:func:`coerce_legacy_init` is the one-release deprecation shim: it
-translates the old ``config=``/``codes=``/``counts=`` kwargs into the
-matching member (with a :class:`DeprecationWarning`), so existing call
-sites keep working for one release while everything inside ``src/``
-speaks ``init=`` only.
+The old ``config=``/``codes=``/``counts=`` keyword triple rode a
+one-release deprecation shim after the ``init=`` redesign and has now
+been **removed**: :func:`require_init` validates the ``init=`` argument
+and :func:`reject_removed_kwargs` turns any straggling legacy keyword
+into a :class:`TypeError` that names the replacement, so old call sites
+fail with a pointer instead of a generic signature error.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, NoReturn, Optional, Sequence, Union
 
 from repro.core.protocol import PopulationProtocol
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    import numpy
+
+#: A materialized code array / count vector: a plain int sequence or a
+#: numpy ``int64`` array.  Typed via TYPE_CHECKING so the numpy-free
+#: object runtime never imports numpy to evaluate annotations.
+Codes = Union[Sequence[int], "numpy.ndarray"]
+Counts = Union[Sequence[int], "numpy.ndarray"]
 
 
 class InitialState:
@@ -74,11 +83,11 @@ class InitialState:
         """Materialize as a list of *fresh* state objects (numpy-free)."""
         raise NotImplementedError
 
-    def to_codes(self, protocol: PopulationProtocol):
+    def to_codes(self, protocol: PopulationProtocol) -> Codes:
         """Materialize as a sequence of encoded state codes."""
         raise NotImplementedError
 
-    def to_counts(self, protocol: PopulationProtocol):
+    def to_counts(self, protocol: PopulationProtocol) -> Counts:
         """Materialize as an ``S``-length count vector."""
         raise NotImplementedError
 
@@ -103,11 +112,11 @@ class ObjectConfig(InitialState):
     def to_config(self, protocol: PopulationProtocol) -> list[Any]:
         return list(self.config)
 
-    def to_codes(self, protocol: PopulationProtocol):
+    def to_codes(self, protocol: PopulationProtocol) -> Codes:
         encode = protocol.encode_state
         return [int(encode(state)) for state in self.config]
 
-    def to_counts(self, protocol: PopulationProtocol):
+    def to_counts(self, protocol: PopulationProtocol) -> Counts:
         from repro.sim.counts_backend import counts_from_configuration
 
         return counts_from_configuration(protocol, list(self.config))
@@ -133,10 +142,10 @@ class CodeArray(InitialState):
             config.append(decode(code))
         return config
 
-    def to_codes(self, protocol: PopulationProtocol):
+    def to_codes(self, protocol: PopulationProtocol) -> Codes:
         return self.codes
 
-    def to_counts(self, protocol: PopulationProtocol):
+    def to_counts(self, protocol: PopulationProtocol) -> Counts:
         from repro.sim.counts_backend import counts_from_codes
 
         return counts_from_codes(protocol, self.codes)
@@ -171,7 +180,7 @@ class CountVector(InitialState):
                 config.append(decode(code))
         return config
 
-    def to_codes(self, protocol: PopulationProtocol):
+    def to_codes(self, protocol: PopulationProtocol) -> Codes:
         from repro.sim.array_backend import require_numpy
 
         np = require_numpy()
@@ -179,7 +188,7 @@ class CountVector(InitialState):
         vector = np.asarray(values, dtype=np.int64)
         return np.repeat(np.arange(vector.shape[0], dtype=np.int64), vector)
 
-    def to_counts(self, protocol: PopulationProtocol):
+    def to_counts(self, protocol: PopulationProtocol) -> Counts:
         return self.counts
 
 
@@ -192,11 +201,11 @@ class Clean(InitialState):
     def to_config(self, protocol: PopulationProtocol) -> list[Any]:
         return protocol.clean_configuration(self.n)
 
-    def to_codes(self, protocol: PopulationProtocol):
+    def to_codes(self, protocol: PopulationProtocol) -> Codes:
         code = int(protocol.encode_state(protocol.initial_state()))
         return [code] * self.n
 
-    def to_counts(self, protocol: PopulationProtocol):
+    def to_counts(self, protocol: PopulationProtocol) -> Counts:
         from repro.sim.array_backend import require_numpy
 
         np = require_numpy()
@@ -241,13 +250,13 @@ class SampledStart(InitialState):
     def to_config(self, protocol: PopulationProtocol) -> list[Any]:
         return CodeArray(self.to_codes(protocol)).to_config(protocol)
 
-    def to_codes(self, protocol: PopulationProtocol):
+    def to_codes(self, protocol: PopulationProtocol) -> Codes:
         from repro.adversary.initializers import code_rng
 
         initializer = self._code_initializer()
         return initializer(protocol, code_rng(self.seed), self.n)
 
-    def to_counts(self, protocol: PopulationProtocol):
+    def to_counts(self, protocol: PopulationProtocol) -> Counts:
         from repro.adversary.initializers import COUNTS_ADVERSARIES, code_rng
 
         self._code_initializer()  # unknown names fail identically everywhere
@@ -269,7 +278,7 @@ class Replicated(InitialState):
     single simulation has no notion of rows.
     """
 
-    spec: Union[InitialState, tuple]
+    spec: Union[InitialState, Sequence["InitialState"]]
     trials: int
 
     def __post_init__(self) -> None:
@@ -297,7 +306,7 @@ class Replicated(InitialState):
             return self.spec
         return self.spec[index]
 
-    def _reject(self) -> "NoReturn":  # noqa: F821 - doc type only
+    def _reject(self) -> NoReturn:
         raise ValueError(
             f"a Replicated initial state describes a batch of {self.trials} "
             "trials; only batch engines (e.g. backend='batch') accept it"
@@ -306,55 +315,54 @@ class Replicated(InitialState):
     def to_config(self, protocol: PopulationProtocol) -> list[Any]:
         self._reject()
 
-    def to_codes(self, protocol: PopulationProtocol):
+    def to_codes(self, protocol: PopulationProtocol) -> Codes:
         self._reject()
 
-    def to_counts(self, protocol: PopulationProtocol):
+    def to_counts(self, protocol: PopulationProtocol) -> Counts:
         self._reject()
 
 
-#: The message of the one-release deprecation shim.
-_LEGACY_WARNING = (
-    "the config=/codes=/counts= keyword arguments are deprecated; pass "
-    "init=ObjectConfig(...)/CodeArray(...)/CountVector(...) instead "
-    "(repro.sim.initial_state)"
-)
+#: Legacy keyword → the InitialState member that replaced it.  The shim
+#: that *translated* these shipped for exactly one release (PR 6); what
+#: remains is the clear rejection below.
+_REMOVED_KWARGS: dict[str, str] = {
+    "config": "ObjectConfig",
+    "codes": "CodeArray",
+    "counts": "CountVector",
+    "config_factory": "a per-trial init= factory returning ObjectConfig",
+    "codes_factory": "a per-trial init= factory returning CodeArray",
+    "counts_factory": "a per-trial init= factory returning CountVector",
+}
 
 
-def coerce_legacy_init(
-    init: Optional[InitialState] = None,
-    *,
-    config: Optional[Sequence[Any]] = None,
-    codes: Optional[Sequence[int]] = None,
-    counts: Optional[Sequence[int]] = None,
-    stacklevel: int = 3,
-) -> Optional[InitialState]:
-    """Translate the deprecated kwarg triple into an :class:`InitialState`.
+def require_init(init: Optional[InitialState]) -> Optional[InitialState]:
+    """Validate an ``init=`` argument (``None`` = clean ``n``-agent start)."""
+    if init is not None and not isinstance(init, InitialState):
+        raise TypeError(
+            f"init= must be an InitialState, got {type(init).__name__}; "
+            "see repro.sim.initial_state"
+        )
+    return init
 
-    Exactly one initial-configuration description may be given: either
-    ``init`` or (deprecated, warning) one of the legacy kwargs.  Returns
-    ``None`` when none is given (a clean start described by ``n``).
+
+def reject_removed_kwargs(where: str, kwargs: dict[str, Any]) -> None:
+    """Raise a pointed :class:`TypeError` for the removed keyword shim.
+
+    ``kwargs`` is a ``**``-collected dict of unexpected keywords; legacy
+    names get a message that names the ``init=`` replacement, anything
+    else the ordinary unexpected-keyword error.
     """
-    legacy = [
-        ("config", config, ObjectConfig),
-        ("codes", codes, CodeArray),
-        ("counts", counts, CountVector),
-    ]
-    given = [(name, value, wrap) for name, value, wrap in legacy if value is not None]
-    if len(given) > 1:
-        raise ValueError("provide at most one of config=, codes= and counts=")
-    if not given:
-        if init is not None and not isinstance(init, InitialState):
-            raise TypeError(
-                f"init= must be an InitialState, got {type(init).__name__}; "
-                "see repro.sim.initial_state"
-            )
-        return init
-    name, value, wrap = given[0]
-    if init is not None:
-        raise ValueError(f"provide either init= or the deprecated {name}=, not both")
-    warnings.warn(_LEGACY_WARNING, DeprecationWarning, stacklevel=stacklevel)
-    return wrap(value)
+    if not kwargs:
+        return
+    name = next(iter(kwargs))
+    replacement = _REMOVED_KWARGS.get(name)
+    if replacement is not None:
+        raise TypeError(
+            f"{where}() no longer accepts {name}= (the one-release "
+            f"deprecation shim has been removed); pass init= with "
+            f"{replacement} instead (repro.sim.initial_state)"
+        )
+    raise TypeError(f"{where}() got an unexpected keyword argument {name!r}")
 
 
 __all__ = [
@@ -365,5 +373,6 @@ __all__ = [
     "ObjectConfig",
     "Replicated",
     "SampledStart",
-    "coerce_legacy_init",
+    "reject_removed_kwargs",
+    "require_init",
 ]

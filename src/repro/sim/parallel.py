@@ -43,11 +43,11 @@ from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, TypeVa
 
 from repro.core.protocol import PopulationProtocol
 from repro.sim.backends import DEFAULT_BACKEND
-from repro.sim.initial_state import InitialState, coerce_legacy_init
+from repro.sim.initial_state import InitialState, require_init
 from repro.sim.simulation import ConfigPredicate, run_until
 
 
-@dataclass(init=False)
+@dataclass
 class TrialSpec:
     """One fully-determined trial, picklable for process fan-out.
 
@@ -60,9 +60,7 @@ class TrialSpec:
     :class:`~repro.sim.initial_state.InitialState`, whose members cover
     every pickle-cost point from full state-object lists down to the
     ``O(S)`` count vectors and ``O(1)`` sampled-adversary handles — or
-    ``n`` for a clean start.  The deprecated ``config=``/``codes=``/
-    ``counts=`` kwargs are still accepted for one release and translated
-    with a ``DeprecationWarning``.
+    ``n`` for a clean start.
     """
 
     index: int
@@ -75,31 +73,8 @@ class TrialSpec:
     n: Optional[int] = None
     backend: str = DEFAULT_BACKEND
 
-    def __init__(
-        self,
-        index: int,
-        protocol: PopulationProtocol,
-        predicate: ConfigPredicate,
-        seed: int,
-        max_interactions: int,
-        check_interval: int = 1,
-        init: Optional[InitialState] = None,
-        n: Optional[int] = None,
-        backend: str = DEFAULT_BACKEND,
-        *,
-        config: Optional[list[Any]] = None,
-        codes: Optional[Sequence[int]] = None,
-        counts: Optional[Sequence[int]] = None,
-    ):
-        self.index = index
-        self.protocol = protocol
-        self.predicate = predicate
-        self.seed = seed
-        self.max_interactions = max_interactions
-        self.check_interval = check_interval
-        self.init = coerce_legacy_init(init, config=config, codes=codes, counts=counts)
-        self.n = n
-        self.backend = backend
+    def __post_init__(self) -> None:
+        require_init(self.init)
 
 
 @dataclass
@@ -142,7 +117,7 @@ def resolve_workers(workers: Optional[int]) -> int:
 
 
 def _picklable(specs: Sequence[TrialSpec]) -> bool:
-    # Specs differ per trial (config_factory-built configurations), so
+    # Specs differ per trial (init-factory-built configurations), so
     # every one must cross the process boundary — probe them all, one at
     # a time so the throwaway blobs never accumulate.
     try:

@@ -15,7 +15,7 @@ transition-function sampling, through two independent derived streams.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 
 from repro.core.protocol import PopulationProtocol
 from repro.scheduler.rng import RNG, derive_seed, make_rng
@@ -29,6 +29,9 @@ from repro.sim.backends import (  # noqa: F401
     BACKEND_OBJECT,
 )
 from repro.sim.metrics import Metrics
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.sim.initial_state import InitialState
 
 #: A predicate over the full configuration.
 ConfigPredicate = Callable[[Sequence[Any]], bool]
@@ -180,30 +183,27 @@ def resolve_backend(backend: Optional[str]) -> str:
 def make_simulation(
     protocol: PopulationProtocol,
     *,
-    init=None,
+    init: Optional["InitialState"] = None,
     n: Optional[int] = None,
     seed: int = 0,
     backend: Optional[str] = None,
-    config: Optional[list[Any]] = None,
-    codes: Optional[Sequence[int]] = None,
-    counts: Optional[Sequence[int]] = None,
-):
+    **removed: Any,
+) -> Any:
     """Build a simulation on the requested execution backend.
 
     Thin delegate of :func:`repro.sim.backends.make_simulation`: the
     engine is looked up in the backend registry and its factory builds
     the simulation from the :class:`~repro.sim.initial_state
     .InitialState` ``init`` (or a clean ``n``-agent start).  Every engine
-    exposes ``run`` / ``run_batch`` / ``run_until`` / ``predicate_holds``
-    / ``apply_fault`` / ``metrics`` / ``config``.  The trailing
-    ``config=``/``codes=``/``counts=`` kwargs are the deprecated triple
-    ``init=`` replaced (one-release shim, ``DeprecationWarning``).
+    exposes the canonical surface
+    (:data:`repro.sim.backends.ENGINE_SURFACE`).  The removed
+    ``config=``/``codes=``/``counts=`` triple raises a pointed
+    :class:`TypeError`.
     """
     from repro.sim import backends
 
     return backends.make_simulation(
-        protocol, init=init, n=n, seed=seed, backend=backend, config=config,
-        codes=codes, counts=counts,
+        protocol, init=init, n=n, seed=seed, backend=backend, **removed
     )
 
 
@@ -211,20 +211,17 @@ def run_until(
     protocol: PopulationProtocol,
     predicate: ConfigPredicate,
     *,
-    init=None,
+    init: Optional["InitialState"] = None,
     n: Optional[int] = None,
     seed: int = 0,
     max_interactions: int,
     check_interval: int = 1,
     backend: Optional[str] = None,
-    config: Optional[list[Any]] = None,
-    codes: Optional[Sequence[int]] = None,
-    counts: Optional[Sequence[int]] = None,
+    **removed: Any,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :func:`make_simulation`."""
     sim = make_simulation(
-        protocol, init=init, n=n, seed=seed, backend=backend, config=config,
-        codes=codes, counts=counts,
+        protocol, init=init, n=n, seed=seed, backend=backend, **removed
     )
     return sim.run_until(predicate, max_interactions, check_interval)
 

@@ -6,8 +6,8 @@ seeded trials and reporting median / p95 alongside the success rate within
 the interaction budget.
 
 Trials are independent by construction (each gets a child seed via
-:func:`derive_seed` and, when a ``config_factory`` is supplied, its own
-start configuration built in the parent), so execution is delegated to
+:func:`derive_seed` and, when a per-trial ``init`` factory is supplied,
+its own start configuration built in the parent), so execution is delegated to
 :mod:`repro.sim.parallel`: ``workers=1`` runs in-process exactly as the
 original sequential runner did, ``workers>1`` fans the same specs out over
 a process pool with bit-identical results.
@@ -17,19 +17,13 @@ from __future__ import annotations
 
 import math
 import statistics
-import warnings
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 from repro.core.protocol import PopulationProtocol
 from repro.scheduler.rng import derive_seed
 from repro.sim.backends import get_backend, resolve_backend
-from repro.sim.initial_state import (
-    CodeArray,
-    CountVector,
-    InitialState,
-    ObjectConfig,
-)
+from repro.sim.initial_state import InitialState, reject_removed_kwargs
 from repro.sim.parallel import TrialSpec, run_trial_specs
 from repro.sim.simulation import ConfigPredicate
 
@@ -38,18 +32,6 @@ from repro.sim.simulation import ConfigPredicate
 #: to an ``InitialState`` (or ``None`` for a clean start).
 InitFactory = Callable[[int], Optional[InitialState]]
 TrialsInit = Union[InitialState, InitFactory, None]
-
-#: Deprecated factory aliases (the pre-``init=`` API); still exported so
-#: annotated call sites keep importing, translated by the shim below.
-ConfigFactory = Callable[[int], Optional[list[Any]]]
-CodesFactory = Callable[[int], Optional[Sequence[int]]]
-CountsFactory = Callable[[int], Optional[Sequence[int]]]
-
-_LEGACY_FACTORY_WARNING = (
-    "the config_factory=/codes_factory=/counts_factory= keyword arguments "
-    "are deprecated; pass init= (an InitialState, or a per-trial factory "
-    "index -> InitialState) instead (repro.sim.initial_state)"
-)
 
 
 @dataclass
@@ -103,36 +85,6 @@ class TrialSummary:
         }
 
 
-def _coerce_init_argument(
-    init: TrialsInit,
-    config_factory: Optional[ConfigFactory],
-    codes_factory: Optional[CodesFactory],
-    counts_factory: Optional[CountsFactory],
-) -> TrialsInit:
-    """Fold the deprecated per-trial factory triple into ``init``."""
-    legacy = [
-        ("config_factory", config_factory, ObjectConfig),
-        ("codes_factory", codes_factory, CodeArray),
-        ("counts_factory", counts_factory, CountVector),
-    ]
-    given = [(name, fn, wrap) for name, fn, wrap in legacy if fn is not None]
-    if len(given) + (init is not None) > 1:
-        raise ValueError(
-            "provide at most one of init=, config_factory=, codes_factory= "
-            "and counts_factory="
-        )
-    if not given:
-        return init
-    name, factory, wrap = given[0]
-    warnings.warn(_LEGACY_FACTORY_WARNING, DeprecationWarning, stacklevel=3)
-
-    def translated(index: int) -> Optional[InitialState]:
-        value = factory(index)
-        return None if value is None else wrap(value)
-
-    return translated
-
-
 def run_trials(
     protocol: PopulationProtocol,
     predicate: ConfigPredicate,
@@ -146,9 +98,7 @@ def run_trials(
     label: str = "",
     workers: Optional[int] = 1,
     backend: Optional[str] = None,
-    config_factory: Optional[ConfigFactory] = None,
-    codes_factory: Optional[CodesFactory] = None,
-    counts_factory: Optional[CountsFactory] = None,
+    **removed: object,
 ) -> TrialSummary:
     """Run ``trials`` independent seeded executions and aggregate.
 
@@ -168,9 +118,9 @@ def run_trials(
     Optional[InitialState]`` (adversarial starts use
     :class:`~repro.sim.initial_state.SampledStart`, which ships as an
     ``O(1)`` handle and materializes in whichever representation the
-    backend asks for).  The deprecated ``config_factory=``/
-    ``codes_factory=``/``counts_factory=`` kwargs are translated into
-    such a factory for one release, with a ``DeprecationWarning``.
+    backend asks for).  The removed ``config_factory=``/
+    ``codes_factory=``/``counts_factory=`` kwargs raise a pointed
+    :class:`TypeError`.
 
     ``backend`` names a registered execution engine
     (:mod:`repro.sim.backends`; ``None`` resolves ``$REPRO_BENCH_BACKEND``,
@@ -184,8 +134,8 @@ def run_trials(
     spec list as one in-process batch; ``workers`` is irrelevant there —
     the batch engine's lockstep matrix *is* its parallelism.
     """
+    reject_removed_kwargs("run_trials", removed)
     engine = resolve_backend(backend)
-    init = _coerce_init_argument(init, config_factory, codes_factory, counts_factory)
 
     def init_for(index: int) -> Optional[InitialState]:
         if init is None or isinstance(init, InitialState):

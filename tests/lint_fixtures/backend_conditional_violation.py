@@ -1,0 +1,5 @@
+"""Lint fixture: string comparison against a backend name (L003)."""
+
+
+def is_aggregate(backend: str) -> bool:
+    return backend == "counts"

@@ -1,0 +1,7 @@
+"""Lint fixture: int32 accumulator in a counts hot path (L006)."""
+
+import numpy as np
+
+
+def allocate(size: int) -> np.ndarray:
+    return np.zeros(size, dtype=np.int32)

@@ -1,0 +1,7 @@
+"""Lint fixture: the removed legacy keyword shim (L005)."""
+
+from repro.sim.backends import make_simulation
+
+
+def build(protocol):
+    return make_simulation(protocol, codes=[0, 1, 0, 1])

@@ -1,0 +1,11 @@
+"""Lint fixture: an engine-shaped class missing the canonical surface (L002)."""
+
+
+class HalfEngine:
+    """Defines run_batch and predicate_holds but not the rest."""
+
+    def run_batch(self, count: int) -> None:
+        self.steps = count
+
+    def predicate_holds(self, predicate) -> bool:
+        return bool(predicate([]))

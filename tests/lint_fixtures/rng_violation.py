@@ -1,0 +1,7 @@
+"""Lint fixture: constructs randomness outside repro.scheduler.rng (L001)."""
+
+import random
+
+
+def draw() -> float:
+    return random.random()

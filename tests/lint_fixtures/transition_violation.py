@@ -1,0 +1,5 @@
+"""Lint fixture: an impure transition function (L004)."""
+
+
+def transition(initiator, responder, rng) -> None:
+    print(initiator, responder, rng)

@@ -46,6 +46,7 @@ from repro.sim.backends import (
 )
 from repro.sim.initial_state import CodeArray, CountVector
 from repro.sim.simulation import Simulation
+from repro.sim.trials import run_trials
 
 
 class TestRegistry:
@@ -222,44 +223,34 @@ class TestMakeSimulation:
             make_simulation(protocol, init=[0] * 8)
 
 
-class TestLegacyKwargShim:
-    """``config=``/``codes=``/``counts=`` keep working for one release."""
+class TestLegacyKwargsRemoved:
+    """``config=``/``codes=``/``counts=`` are gone; each points at ``init=``."""
 
-    def test_legacy_kwargs_warn_and_match_init(self):
-        np = pytest.importorskip("numpy")
+    def test_removed_kwargs_point_at_init(self):
         protocol = PairwiseElimination(8)
-        codes = [1, 0, 1, 0, 0, 0, 1, 0]
-        with pytest.deprecated_call():
-            legacy = make_simulation(protocol, codes=codes, backend="counts")
-        modern = make_simulation(protocol, init=CodeArray(codes), backend="counts")
-        assert np.array_equal(legacy.counts, modern.counts)
-        with pytest.deprecated_call():
-            legacy = make_simulation(protocol, counts=[5, 3], backend="object")
-        modern = make_simulation(protocol, init=CountVector([5, 3]), backend="object")
-        assert [protocol.encode_state(s) for s in legacy.config] == \
-            [protocol.encode_state(s) for s in modern.config]
+        with pytest.raises(TypeError, match=r"init= with CodeArray"):
+            make_simulation(protocol, codes=[0] * 8, backend="object")
+        with pytest.raises(TypeError, match=r"init= with CountVector"):
+            make_simulation(protocol, counts=[5, 3], backend="object")
+        with pytest.raises(TypeError, match=r"init= with ObjectConfig"):
+            make_simulation(protocol, config=protocol.clean_configuration(8))
 
-    def test_legacy_config_warns(self):
+    def test_removed_factory_kwargs_point_at_init(self):
         protocol = PairwiseElimination(8)
-        with pytest.deprecated_call():
-            sim = make_simulation(protocol, config=protocol.clean_configuration(8))
-        assert isinstance(sim, Simulation) and sim.n == 8
-
-    def test_config_codes_and_counts_are_exclusive(self):
-        protocol = PairwiseElimination(8)
-        with pytest.raises(ValueError, match="at most one"):
-            make_simulation(
-                protocol, config=protocol.clean_configuration(8), codes=[0] * 8
+        with pytest.raises(TypeError, match=r"init="):
+            run_trials(
+                protocol,
+                protocol.is_goal_configuration,
+                n=8,
+                trials=1,
+                max_interactions=10,
+                codes_factory=lambda index: [0] * 8,
             )
-        with pytest.raises(ValueError, match="at most one"):
-            make_simulation(protocol, codes=[0] * 8, counts=[8, 0])
 
-    def test_init_and_legacy_kwargs_are_exclusive(self):
+    def test_unknown_kwargs_are_plain_unexpected(self):
         protocol = PairwiseElimination(8)
-        with pytest.raises(ValueError, match="not both"):
-            make_simulation(
-                protocol, init=CountVector([8, 0]), counts=[8, 0], backend="object"
-            )
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            make_simulation(protocol, bogus=1)
 
 
 class TestNoHardcodedDispatch:

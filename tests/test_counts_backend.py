@@ -65,6 +65,7 @@ from repro.sim.counts_backend import (  # noqa: E402
     counts_from_configuration,
     goal_counts_predicate,
 )
+from repro.sim.initial_state import CodeArray, ObjectConfig  # noqa: E402
 from repro.sim.trials import run_trials  # noqa: E402
 from repro.substrates.epidemics import EpidemicProtocol  # noqa: E402
 
@@ -491,8 +492,8 @@ class TestThreeWayEquivalence:
                 max_interactions=budget,
                 seed=77,
                 check_interval=32,
-                config_factory=(
-                    (lambda index: config_of(make_rng(5000 + index)))
+                init=(
+                    (lambda index: ObjectConfig(config_of(make_rng(5000 + index))))
                     if config_of(make_rng(0)) is not None
                     else None
                 ),
@@ -554,9 +555,9 @@ class TestVectorizedAdversaries:
     def test_one_seed_same_start_on_every_backend(self):
         protocol = CaiIzumiWada(BaselineParams(n=16))
         codes = scrambled_codes(protocol, code_rng(21), 16)
-        object_sim = make_simulation(protocol, codes=codes, backend="object")
-        array_sim = make_simulation(protocol, codes=codes, backend="array")
-        counts_sim = make_simulation(protocol, codes=codes, backend="counts")
+        object_sim = make_simulation(protocol, init=CodeArray(codes), backend="object")
+        array_sim = make_simulation(protocol, init=CodeArray(codes), backend="array")
+        counts_sim = make_simulation(protocol, init=CodeArray(codes), backend="counts")
         reference = codes.tolist()
         assert [protocol.encode_state(s) for s in object_sim.config] == reference
         assert array_sim.codes.tolist() == reference

@@ -43,6 +43,7 @@ from repro.sim.fault_engine import (  # noqa: E402
     make_fault_engine,
     register_fault_model,
 )
+from repro.sim.initial_state import CodeArray  # noqa: E402
 from repro.substrates.epidemics import EpidemicProtocol  # noqa: E402
 
 BACKENDS = ("object", "array", "counts")
@@ -140,7 +141,7 @@ class TestBurstSchedule:
         schedules = {}
         for backend in BACKENDS:
             sim = make_simulation(
-                epidemic, codes=infected_codes(256), seed=11, backend=backend
+                epidemic, init=CodeArray(infected_codes(256)), seed=11, backend=backend
             )
             engine = make_fault_engine(
                 "crash_reset", epidemic, n=256, rate=2.0, burst_size=2, seed=77
@@ -155,7 +156,7 @@ class TestBurstSchedule:
     def test_schedule_is_a_pure_function_of_the_seed(self, epidemic):
         runs = []
         for _ in range(2):
-            sim = make_simulation(epidemic, codes=infected_codes(128), seed=3,
+            sim = make_simulation(epidemic, init=CodeArray(infected_codes(128)), seed=3,
                                   backend="counts")
             engine = make_fault_engine("scramble_burst", epidemic, n=128, rate=1.0,
                                        seed=5)
@@ -169,7 +170,7 @@ class TestBurstSchedule:
     def test_rate_scales_burst_count(self, epidemic):
         counts = {}
         for rate in (0.5, 4.0):
-            sim = make_simulation(epidemic, codes=infected_codes(128), seed=3,
+            sim = make_simulation(epidemic, init=CodeArray(infected_codes(128)), seed=3,
                                   backend="counts")
             engine = make_fault_engine("crash_reset", epidemic, n=128, rate=rate, seed=9)
             engine.measure_availability(
@@ -285,7 +286,7 @@ class TestCountsMassProperties:
 class TestDrivers:
     def test_run_until_converges_under_mild_faults(self, epidemic):
         for backend in BACKENDS:
-            sim = make_simulation(epidemic, codes=infected_codes(128), seed=1,
+            sim = make_simulation(epidemic, init=CodeArray(infected_codes(128)), seed=1,
                                   backend=backend)
             # One uninfected plant: run_until must re-converge despite rare
             # crash_reset bursts.
@@ -299,7 +300,7 @@ class TestDrivers:
             assert result.converged, backend
 
     def test_run_until_already_converged_short_circuits(self, epidemic):
-        sim = make_simulation(epidemic, codes=infected_codes(64), seed=1,
+        sim = make_simulation(epidemic, init=CodeArray(infected_codes(64)), seed=1,
                               backend="counts")
         engine = make_fault_engine("crash_reset", epidemic, n=64, rate=1.0, seed=3)
         result = engine.run_until(
@@ -310,7 +311,7 @@ class TestDrivers:
         assert engine.fault_bursts == 0
 
     def test_availability_report_shape(self, epidemic):
-        sim = make_simulation(epidemic, codes=infected_codes(128), seed=4,
+        sim = make_simulation(epidemic, init=CodeArray(infected_codes(128)), seed=4,
                               backend="array")
         engine = make_fault_engine("crash_reset", epidemic, n=128, rate=1.0,
                                    burst_size=2, seed=5)
@@ -332,7 +333,7 @@ class TestDrivers:
             samples = []
             for seed in range(10):
                 sim = make_simulation(
-                    epidemic, codes=infected_codes(256), seed=100 + seed,
+                    epidemic, init=CodeArray(infected_codes(256)), seed=100 + seed,
                     backend=backend,
                 )
                 engine = make_fault_engine(

@@ -18,6 +18,7 @@ import pytest
 from repro.baselines.nonss_leader import PairwiseElimination
 from repro.scheduler.rng import derive_seed, make_rng
 from repro.scheduler.scheduler import RandomScheduler
+from repro.sim.initial_state import ObjectConfig
 from repro.sim.parallel import (
     TrialSpec,
     resolve_workers,
@@ -229,7 +230,7 @@ class TestStreaming:
             seed=specs[2].seed,
             max_interactions=100_000,
             check_interval=8,
-            config=[Unpicklable() for _ in range(10)],
+            init=ObjectConfig([Unpicklable() for _ in range(10)]),
         )
         with pytest.warns(RuntimeWarning, match="not picklable"):
             outcomes = list(run_trial_specs_streaming(poisoned, workers=2))
@@ -282,7 +283,8 @@ class TestRunTrialsWorkers:
 
     def test_unpicklable_later_config_falls_back(self, protocol):
         # The pickle probe must cover every spec, not just the first:
-        # config_factory may return a poisoned configuration mid-sweep.
+        # a per-trial init factory may return a poisoned configuration
+        # mid-sweep.
         class Unpicklable:
             leader = True
 
@@ -291,7 +293,7 @@ class TestRunTrialsWorkers:
 
         def factory(index):
             if index == 2:
-                return [Unpicklable() for _ in range(10)]
+                return ObjectConfig([Unpicklable() for _ in range(10)])
             return None
 
         with pytest.warns(RuntimeWarning, match="not picklable"):
@@ -302,7 +304,7 @@ class TestRunTrialsWorkers:
                 trials=4,
                 max_interactions=100_000,
                 seed=9,
-                config_factory=factory,
+                init=factory,
                 workers=2,
             )
         assert summary.trials == 4

@@ -7,6 +7,7 @@ import math
 import pytest
 
 from repro.baselines.nonss_leader import PairwiseElimination
+from repro.sim.initial_state import CodeArray, CountVector, ObjectConfig
 from repro.sim.trials import TrialSummary, format_table, run_trials
 
 
@@ -49,7 +50,7 @@ class TestRunTrials:
             config = [protocol.initial_state() for _ in range(6)]
             for state in config[1:]:
                 state.leader = False
-            return config  # already converged
+            return ObjectConfig(config)  # already converged
 
         summary = run_trials(
             protocol,
@@ -57,7 +58,7 @@ class TestRunTrials:
             n=6,
             trials=4,
             max_interactions=10,
-            config_factory=factory,
+            init=factory,
         )
         assert summary.converged == 4
         assert all(t == 0 for t in summary.parallel_times)
@@ -156,7 +157,7 @@ class TestBackendSelection:
 
         def counts_factory(index: int):
             built.append(index)
-            return [32, 32]  # half leaders, half followers
+            return CountVector([32, 32])  # half leaders, half followers
 
         summary = run_trials(
             protocol,
@@ -166,22 +167,21 @@ class TestBackendSelection:
             max_interactions=500_000,
             seed=4,
             check_interval=64,
-            counts_factory=counts_factory,
+            init=counts_factory,
             backend="counts",
         )
         assert built == [0, 1, 2]
         assert summary.converged == 3
 
-    def test_factories_are_mutually_exclusive(self):
+    def test_removed_factory_kwargs_raise(self):
         protocol = PairwiseElimination(8)
-        with pytest.raises(ValueError, match="at most one"):
+        with pytest.raises(TypeError, match=r"init="):
             run_trials(
                 protocol,
                 protocol.is_goal_configuration,
                 n=8,
                 trials=1,
                 max_interactions=100,
-                codes_factory=lambda index: [0] * 8,
                 counts_factory=lambda index: [8, 0],
             )
 
@@ -233,7 +233,7 @@ class TestBackendSelection:
         def seeded(index):
             codes = np.zeros(48, dtype=np.int64)
             codes[0] = 1
-            return codes
+            return CodeArray(codes)
 
         summaries = [
             run_trials(
@@ -244,19 +244,18 @@ class TestBackendSelection:
                 max_interactions=100_000,
                 seed=4,
                 check_interval=48,
-                codes_factory=seeded,
+                init=seeded,
                 backend=backend,
             )
             for backend in ("object", "counts")
         ]
         assert all(s.converged == 3 for s in summaries)
-        with pytest.raises(ValueError, match="at most one"):
+        with pytest.raises(TypeError, match=r"init="):
             run_trials(
                 protocol,
                 protocol.is_goal_configuration,
                 n=48,
                 trials=1,
                 max_interactions=10,
-                config_factory=lambda index: None,
                 codes_factory=seeded,
             )

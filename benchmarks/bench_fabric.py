@@ -1,0 +1,95 @@
+"""E23 — the distributed sweep fabric as a workload.
+
+One grid, three execution paths, one equality gate:
+
+* **serial** — the reference ``run_sweep`` checkpoint;
+* **shard+merge** — every shard executed in-process via the fabric's
+  deterministic partition, then ``merge_checkpoints`` reconstituting the
+  unsharded file;
+* **pool** — the lease-based coordinator driving real ``python -m repro``
+  worker subprocesses over the local provider.
+
+All three must produce byte-identical checkpoints; the table reports the
+wall clock each path paid for them.  This is the benchmark twin of the
+CI shard/merge/pool smoke, at experiment scale rather than smoke scale.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import fast_scaled, run_once
+
+from repro.fabric import merge_checkpoints, run_pool, shard_grid
+from repro.sim.sweep import GridSpec, expand_grid, run_sweep
+
+E23_SHARDS = 4
+
+E23_GRID = GridSpec(
+    protocols=("elect_leader", "pairwise_elimination"),
+    ns=fast_scaled((16, 24, 32), (12, 16)),
+    rs=(2, 4),
+    adversaries=("clean", "random_soup"),
+    fault_rates=(0.0,),
+    trials=fast_scaled(5, 2),
+    seed=2300,
+    max_interactions=fast_scaled(2_000_000, 500_000),
+    check_interval=2_000,
+)
+
+
+def test_e23_fabric_shard_merge_pool_identity(benchmark, record_table, tmp_path):
+    def experiment():
+        rows = []
+        trials = len(expand_grid(E23_GRID))
+
+        def timed(label, fn):
+            start = time.perf_counter()
+            fn()
+            rows.append(
+                {
+                    "mode": label,
+                    "trials": trials,
+                    "shards": E23_SHARDS if label != "serial" else 1,
+                    "wall_s": round(time.perf_counter() - start, 2),
+                }
+            )
+
+        serial = tmp_path / "serial.jsonl"
+        timed("serial", lambda: run_sweep(E23_GRID, jsonl_path=serial))
+
+        def shard_and_merge():
+            paths = []
+            for index in range(E23_SHARDS):
+                path = tmp_path / f"shard-{index}.jsonl"
+                result = run_sweep(E23_GRID, jsonl_path=path, shard=(index, E23_SHARDS))
+                assert [spec.index for spec in result.specs] == [
+                    spec.index for spec in shard_grid(E23_GRID, index, E23_SHARDS)
+                ]
+                paths.append(path)
+            merge_checkpoints(paths, tmp_path / "merged.jsonl", grid=E23_GRID)
+
+        timed("shard+merge", shard_and_merge)
+        assert (tmp_path / "merged.jsonl").read_bytes() == serial.read_bytes()
+
+        def pooled():
+            result = run_pool(
+                E23_GRID,
+                out=tmp_path / "pool.jsonl",
+                workers=2,
+                shards=E23_SHARDS,
+                backoff=0.0,
+            )
+            assert result.ok
+
+        timed("pool", pooled)
+        assert (tmp_path / "pool.jsonl").read_bytes() == serial.read_bytes()
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    record_table(
+        "E23_fabric",
+        rows,
+        f"E23: fabric identity gate — serial vs {E23_SHARDS}-shard merge vs pool "
+        f"({len(expand_grid(E23_GRID))} trials)",
+    )

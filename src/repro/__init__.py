@@ -28,6 +28,12 @@ from repro.core.params import BaselineParams, ProtocolParams
 from repro.core.partition import RankPartition
 from repro.core.protocol import PopulationProtocol, RankingProtocol
 from repro.core.roles import Role
+from repro.fabric import (
+    FabricError,
+    merge_checkpoints,
+    run_pool,
+    shard_grid,
+)
 from repro.scheduler.rng import make_rng, spawn_rngs
 from repro.sim.parallel import (
     TrialOutcome,
@@ -73,6 +79,10 @@ __all__ = [
     "SweepError",
     "SweepResult",
     "run_sweep",
+    "FabricError",
+    "shard_grid",
+    "merge_checkpoints",
+    "run_pool",
     "format_table",
     "make_rng",
     "spawn_rngs",

@@ -1,0 +1,151 @@
+"""The stable public API surface of the repro package.
+
+``import repro.api as repro`` (or ``from repro.api import ...``) is the
+supported way to drive the reproduction programmatically.  Everything
+re-exported here is covered by the keyword-only calling conventions and
+pointed-``TypeError`` guarantees documented in the README; anything *not*
+listed in ``__all__`` — including the implementation modules themselves —
+is internal and may move between releases.
+
+The module deliberately contains only ``from X import name`` statements:
+no submodule object is bound as an attribute, so internal modules are not
+reachable through it (``repro.api.sweep`` is an :class:`AttributeError`,
+not a back door).  A test enforces this with an AST walk.
+
+The surface groups into four layers:
+
+* **protocols & parameters** — :class:`ElectLeader`,
+  :class:`ProtocolParams`, the baselines' :class:`BaselineParams`, and
+  the :class:`PopulationProtocol` base;
+* **single executions** — :func:`make_simulation` / :class:`Simulation`
+  / :func:`run_until` on a registered backend, started from any
+  :class:`InitialState` (clean, explicit, counted, or sampled
+  adversarial);
+* **trial batches & sweeps** — :func:`run_trials` aggregation,
+  :class:`GridSpec` expansion via :func:`expand_grid` into
+  :class:`ScenarioSpec` trials, :func:`run_scenario` /
+  :func:`run_sweep` execution with JSONL checkpoints;
+* **distributed fabric** — deterministic :func:`shard_grid` sharding,
+  :func:`merge_checkpoints` validation + concatenation, and the
+  lease-based :func:`run_pool` worker pool.
+"""
+
+from repro.core.elect_leader import ElectLeader
+from repro.core.params import BaselineParams, ProtocolParams
+from repro.core.protocol import PopulationProtocol, RankingProtocol
+from repro.fabric.errors import FabricError
+from repro.fabric.merge import MergeReport, merge_checkpoints
+from repro.fabric.pool import PoolResult, run_pool
+from repro.fabric.providers import (
+    BudgetCaps,
+    LocalWorkerProvider,
+    ProviderSpec,
+    SSHWorkerProvider,
+    WorkerHandle,
+    WorkerProvider,
+    get_provider,
+    provider_names,
+    register_provider,
+)
+from repro.fabric.sharding import format_shard, parse_shard, shard_grid
+from repro.sim.backends import (
+    backend_names,
+    make_simulation,
+    resolve_backend,
+)
+from repro.sim.initial_state import (
+    Clean,
+    CodeArray,
+    CountVector,
+    InitialState,
+    ObjectConfig,
+    Replicated,
+    SampledStart,
+)
+from repro.sim.parallel import (
+    TrialOutcome,
+    TrialSpec,
+    run_trial_specs,
+    run_trial_specs_streaming,
+    stream_ordered,
+)
+from repro.sim.simulation import Simulation, SimulationResult, run_until
+from repro.sim.sweep import (
+    GridSpec,
+    ScenarioOutcome,
+    ScenarioSpec,
+    SweepError,
+    SweepResult,
+    aggregate_rows,
+    expand_grid,
+    load_grid_file,
+    run_scenario,
+    run_sweep,
+    shard_specs,
+    validate_shard,
+)
+from repro.sim.trials import TrialSummary, format_table, run_trials
+
+__all__ = [
+    # protocols & parameters
+    "BaselineParams",
+    "ElectLeader",
+    "PopulationProtocol",
+    "ProtocolParams",
+    "RankingProtocol",
+    # initial states
+    "Clean",
+    "CodeArray",
+    "CountVector",
+    "InitialState",
+    "ObjectConfig",
+    "Replicated",
+    "SampledStart",
+    # single executions
+    "Simulation",
+    "SimulationResult",
+    "backend_names",
+    "make_simulation",
+    "resolve_backend",
+    "run_until",
+    # trial batches
+    "TrialOutcome",
+    "TrialSpec",
+    "TrialSummary",
+    "format_table",
+    "run_trial_specs",
+    "run_trial_specs_streaming",
+    "run_trials",
+    "stream_ordered",
+    # sweeps
+    "GridSpec",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "SweepError",
+    "SweepResult",
+    "aggregate_rows",
+    "expand_grid",
+    "load_grid_file",
+    "run_scenario",
+    "run_sweep",
+    "shard_specs",
+    "validate_shard",
+    # distributed fabric
+    "BudgetCaps",
+    "FabricError",
+    "LocalWorkerProvider",
+    "MergeReport",
+    "PoolResult",
+    "ProviderSpec",
+    "SSHWorkerProvider",
+    "WorkerHandle",
+    "WorkerProvider",
+    "format_shard",
+    "get_provider",
+    "merge_checkpoints",
+    "parse_shard",
+    "provider_names",
+    "register_provider",
+    "run_pool",
+    "shard_grid",
+]

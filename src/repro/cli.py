@@ -1,13 +1,23 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands mirror the library's main entry points:
+The subcommands mirror the library's main entry points:
 
 * ``run``       — stabilize ``ElectLeader_r`` from a clean start;
 * ``recover``   — stabilize from a named adversarial configuration;
 * ``tradeoff``  — sweep r at fixed n and print the measured trade-off;
 * ``sweep``     — run a scenario grid (protocols × n × r × adversaries ×
-  fault rates) with streaming JSONL checkpoints and ``--resume``;
-* ``statespace`` — print the analytic bit-complexity comparison table.
+  fault rates) with streaming JSONL checkpoints and ``--resume``; with
+  ``--shard i/k`` it runs one deterministic shard of the grid, and with
+  ``--grid grid.json`` the whole grid arrives as one declarative file
+  (flags still override it);
+* ``merge``     — validate a complete, disjoint shard set and merge it
+  into the byte-identical unsharded checkpoint;
+* ``pool``      — run a sharded sweep on a lease-based worker pool
+  (``repro.fabric``): workers are spawned through a provider, heartbeat
+  via checkpoint growth, and timed-out leases are reclaimed with capped
+  retries;
+* ``statespace`` — print the analytic bit-complexity comparison table;
+* ``lint``       — statically check the repository's contracts.
 
 All commands are deterministic given ``--seed`` — including ``tradeoff``
 and ``sweep`` under ``--workers N``: trials fan out over a process pool
@@ -26,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from repro.adversary.initializers import ADVERSARIES, CODE_ADVERSARIES
@@ -33,11 +44,29 @@ from repro.analysis.statespace import comparison_table, elect_leader_bits
 from repro.analysis.theory import predicted_stabilization_interactions
 from repro.core.elect_leader import ElectLeader
 from repro.core.params import ProtocolParams
+from repro.fabric import (
+    BudgetCaps,
+    FabricError,
+    merge_checkpoints,
+    parse_shard,
+    provider_names,
+    run_pool,
+)
 from repro.scheduler.rng import make_rng
 from repro.sim.backends import BACKEND_OBJECT, backend_names, resolve_backend
 from repro.sim.fault_engine import DEFAULT_FAULT_MODEL, fault_model_names
 from repro.sim.simulation import Simulation
-from repro.sim.sweep import CLEAN, PROTOCOLS, GridSpec, SweepError, run_sweep
+from repro.sim.sweep import (
+    CLEAN,
+    PROTOCOLS,
+    GridSpec,
+    SweepError,
+    aggregate_rows,
+    expand_grid,
+    load_checkpoint,
+    load_grid_file,
+    run_sweep,
+)
 from repro.sim.trials import format_table, run_trials
 
 
@@ -80,6 +109,146 @@ def _workers_count(text: str) -> int:
     return value
 
 
+def _shard_spec(text: str) -> tuple[int, int]:
+    try:
+        return parse_shard(text)
+    except FabricError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+#: Grid values used when neither a flag nor a --grid file supplies one.
+#: Keys are GridSpec fields; ``backend=None`` defers to resolve_backend
+#: ($REPRO_BENCH_BACKEND, else 'object').
+_GRID_DEFAULTS: dict[str, object] = {
+    "protocols": ["elect_leader"],
+    "ns": [16, 32],
+    "rs": [4],
+    "adversaries": [CLEAN],
+    "fault_rates": [0.0],
+    "fault_models": [DEFAULT_FAULT_MODEL],
+    "burst_sizes": [1],
+    "trials": 5,
+    "seed": 0,
+    "max_interactions": 20_000_000,
+    "check_interval": 1_000,
+    "backend": None,
+}
+
+#: argparse dest -> GridSpec key for the grid-shaped flags.
+_GRID_ARG_KEYS: dict[str, str] = {
+    "protocols": "protocols",
+    "ns": "ns",
+    "rs": "rs",
+    "adversaries": "adversaries",
+    "fault_rates": "fault_rates",
+    "fault_models": "fault_models",
+    "burst_sizes": "burst_sizes",
+    "trials": "trials",
+    "seed": "seed",
+    "max_interactions": "max_interactions",
+    "batch": "check_interval",
+    "backend": "backend",
+}
+
+
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """The grid-shaped flags shared by ``sweep`` and ``pool``.
+
+    Every flag defaults to ``None`` so :func:`_grid_from_args` can layer
+    the three sources cleanly: explicit flag > ``--grid`` file value >
+    built-in default (:data:`_GRID_DEFAULTS`).
+    """
+    batch_help = "interactions per convergence check (the fast-path batch size)"
+    parser.add_argument(
+        "--grid", default=None, metavar="FILE",
+        help="declarative grid file: a JSON object with GridSpec keys "
+        "(protocols, ns, rs, adversaries, fault_rates, fault_models, "
+        "burst_sizes, trials, seed, max_interactions, check_interval, "
+        "backend); explicit flags override its values",
+    )
+    parser.add_argument(
+        "--protocols", nargs="+", choices=sorted(PROTOCOLS), default=None,
+        help="protocol axis of the grid",
+    )
+    parser.add_argument(
+        "--ns", nargs="+", type=_population_size, default=None, metavar="N",
+        help="population sizes (each >= 2)",
+    )
+    parser.add_argument(
+        "--rs", nargs="+", type=_tradeoff_r, default=None, metavar="R",
+        help="trade-off parameters (each >= 1; cells with r > n/2 are skipped)",
+    )
+    parser.add_argument(
+        "--adversaries", nargs="+",
+        choices=[CLEAN, *sorted(ADVERSARIES), *sorted(CODE_ADVERSARIES)],
+        default=None,
+        help="initializer axis ('clean' = protocol's own start; 'scramble'/"
+        "'plant_minority' = code-space adversaries for finite-state protocols)",
+    )
+    parser.add_argument(
+        "--fault-rates", nargs="+", type=_fault_rate, default=None, metavar="RATE",
+        help="fault bursts per unit of parallel time (0 = no injection)",
+    )
+    parser.add_argument(
+        "--fault-model", dest="fault_models", nargs="+",
+        choices=fault_model_names(), default=None, metavar="MODEL",
+        help="fault-model axis for cells with a positive fault rate "
+        f"(registry: {', '.join(fault_model_names())}; ignored at rate 0). "
+        "Fault cells run the availability workload and record availability "
+        "and median repair time as first-class JSONL fields.",
+    )
+    parser.add_argument(
+        "--burst-size", dest="burst_sizes", nargs="+", type=_positive_int,
+        default=None, metavar="K",
+        help="agents corrupted per fault burst (an axis of the grid; "
+        "ignored at rate 0, where it collapses to 1)",
+    )
+    parser.add_argument(
+        "--backend", choices=backend_names(), default=None,
+        help="execution engine (from the backend registry): 'object' = "
+        "per-interaction, 'array' = vectorized per-agent state codes, "
+        "'counts' = count-vector aggregate, 'batch' = trial-vectorized "
+        "counts matrix running each whole cell in lockstep (the "
+        "vectorized engines are finite-state only). "
+        "Default: $REPRO_BENCH_BACKEND, else 'object'.",
+    )
+    parser.add_argument(
+        "--trials", type=_positive_int, default=None, help="trials per cell"
+    )
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--max-interactions", type=_positive_int, default=None)
+    parser.add_argument("--batch", type=_positive_int, default=None, help=batch_help)
+
+
+def _grid_from_args(args: argparse.Namespace) -> GridSpec:
+    """Build the GridSpec: flags over the --grid file over the defaults."""
+    values = dict(_GRID_DEFAULTS)
+    if args.grid is not None:
+        values.update(load_grid_file(args.grid))
+    for dest, key in _GRID_ARG_KEYS.items():
+        flag = getattr(args, dest)
+        if flag is not None:
+            values[key] = flag
+    try:
+        backend = resolve_backend(values["backend"])
+    except ValueError as error:  # bad $REPRO_BENCH_BACKEND or file backend
+        raise _UsageError(str(error)) from error
+    return GridSpec(
+        protocols=tuple(values["protocols"]),
+        ns=tuple(values["ns"]),
+        rs=tuple(values["rs"]),
+        adversaries=tuple(values["adversaries"]),
+        fault_rates=tuple(values["fault_rates"]),
+        fault_models=tuple(values["fault_models"]),
+        burst_sizes=tuple(values["burst_sizes"]),
+        trials=values["trials"],
+        seed=values["seed"],
+        max_interactions=values["max_interactions"],
+        check_interval=values["check_interval"],
+        backend=backend,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -120,59 +289,19 @@ def build_parser() -> argparse.ArgumentParser:
         "adversaries × fault rates), run every cell for --trials seeded "
         "trials, stream each outcome to a JSONL checkpoint as it lands, and "
         "print the per-cell aggregate table.  An interrupted sweep continues "
-        "from its checkpoint with --resume.",
+        "from its checkpoint with --resume.  --shard I/K runs one "
+        "deterministic shard of the grid (merge the K shard files back with "
+        "'repro merge'); --grid FILE reads the whole grid from one JSON "
+        "artifact, with flags overriding it.",
     )
-    sweep.add_argument(
-        "--protocols", nargs="+", choices=sorted(PROTOCOLS), default=["elect_leader"],
-        help="protocol axis of the grid",
-    )
-    sweep.add_argument(
-        "--ns", nargs="+", type=_population_size, default=[16, 32], metavar="N",
-        help="population sizes (each >= 2)",
-    )
-    sweep.add_argument(
-        "--rs", nargs="+", type=_tradeoff_r, default=[4], metavar="R",
-        help="trade-off parameters (each >= 1; cells with r > n/2 are skipped)",
-    )
-    sweep.add_argument(
-        "--adversaries", nargs="+",
-        choices=[CLEAN, *sorted(ADVERSARIES), *sorted(CODE_ADVERSARIES)],
-        default=[CLEAN],
-        help="initializer axis ('clean' = protocol's own start; 'scramble'/"
-        "'plant_minority' = code-space adversaries for finite-state protocols)",
-    )
-    sweep.add_argument(
-        "--fault-rates", nargs="+", type=_fault_rate, default=[0.0], metavar="RATE",
-        help="fault bursts per unit of parallel time (0 = no injection)",
-    )
-    sweep.add_argument(
-        "--fault-model", dest="fault_models", nargs="+",
-        choices=fault_model_names(), default=[DEFAULT_FAULT_MODEL], metavar="MODEL",
-        help="fault-model axis for cells with a positive fault rate "
-        f"(registry: {', '.join(fault_model_names())}; ignored at rate 0). "
-        "Fault cells run the availability workload and record availability "
-        "and median repair time as first-class JSONL fields.",
-    )
-    sweep.add_argument(
-        "--burst-size", dest="burst_sizes", nargs="+", type=_positive_int,
-        default=[1], metavar="K",
-        help="agents corrupted per fault burst (an axis of the grid; "
-        "ignored at rate 0, where it collapses to 1)",
-    )
-    sweep.add_argument(
-        "--backend", choices=backend_names(), default=None,
-        help="execution engine (from the backend registry): 'object' = "
-        "per-interaction, 'array' = vectorized per-agent state codes, "
-        "'counts' = count-vector aggregate, 'batch' = trial-vectorized "
-        "counts matrix running each whole cell in lockstep (the "
-        "vectorized engines are finite-state only). "
-        "Default: $REPRO_BENCH_BACKEND, else 'object'.",
-    )
-    sweep.add_argument("--trials", type=_positive_int, default=5, help="trials per cell")
-    sweep.add_argument("--seed", type=int, default=0)
-    sweep.add_argument("--max-interactions", type=_positive_int, default=20_000_000)
-    sweep.add_argument("--batch", type=_positive_int, default=1_000, help=batch_help)
+    _add_grid_arguments(sweep)
     sweep.add_argument("--workers", type=_workers_count, default=1, help=workers_help)
+    sweep.add_argument(
+        "--shard", type=_shard_spec, default=None, metavar="I/K",
+        help="run only shard I of K (deterministic trial-hash partition; "
+        "the checkpoint records the shard and 'repro merge' reassembles "
+        "the unsharded file byte-identically)",
+    )
     sweep.add_argument(
         "--out", default="sweep.jsonl", metavar="PATH",
         help="JSONL results/checkpoint file (default: sweep.jsonl)",
@@ -186,6 +315,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="discard an existing --out file and start over",
     )
     sweep.add_argument(
+        "--no-progress", action="store_true", help="suppress the stderr progress line"
+    )
+
+    merge = sub.add_parser(
+        "merge",
+        help="merge shard checkpoints into the unsharded file",
+        description="Validate a complete set of shard checkpoints (one "
+        "sweep, every shard present, each shard complete, no trial counted "
+        "twice) and write the merged checkpoint — byte-identical to the "
+        "file an unsharded 'repro sweep' of the same grid writes.",
+    )
+    merge.add_argument(
+        "shards", nargs="+", metavar="SHARD_JSONL",
+        help="every shard checkpoint of one sharded sweep (any order)",
+    )
+    merge.add_argument(
+        "--out", default="merged.jsonl", metavar="PATH",
+        help="merged checkpoint file (default: merged.jsonl)",
+    )
+
+    pool = sub.add_parser(
+        "pool",
+        help="run a sharded sweep on a lease-based worker pool",
+        description="Shard the grid, lease each shard to a worker spawned "
+        "through --provider, heartbeat via checkpoint growth, reclaim "
+        "timed-out leases with capped exponential-backoff retries, and "
+        "finish with the merge-validated unsharded checkpoint at --out "
+        "plus a JSON run report beside it.",
+    )
+    _add_grid_arguments(pool)
+    pool.add_argument(
+        "--workers", type=_positive_int, default=2,
+        help="concurrent workers, and the shard count unless --shards is given",
+    )
+    pool.add_argument(
+        "--shards", type=_positive_int, default=None, metavar="K",
+        help="shard count (default: --workers); more shards than workers "
+        "gives the pool elasticity — finished workers pick up waiting shards",
+    )
+    pool.add_argument(
+        "--lease-timeout", type=float, default=60.0, metavar="S",
+        help="seconds without checkpoint growth before a lease is "
+        "reclaimed and its worker killed (default: 60)",
+    )
+    pool.add_argument(
+        "--provider", choices=provider_names(), default="local",
+        help="worker substrate from the provider registry (default: local)",
+    )
+    pool.add_argument(
+        "--max-retries", type=int, default=3, metavar="N",
+        help="re-leases allowed per shard before the pool fails (default: 3)",
+    )
+    pool.add_argument(
+        "--backoff", type=float, default=0.5, metavar="S",
+        help="base of the exponential re-lease delay (default: 0.5s)",
+    )
+    pool.add_argument(
+        "--max-seconds", type=float, default=None, metavar="S",
+        help="hard wall-clock budget cap: the fleet is killed when it trips",
+    )
+    pool.add_argument(
+        "--max-trials", type=int, default=None, metavar="T",
+        help="hard cap on the grid's expanded trial count, checked before "
+        "any worker spawns",
+    )
+    pool.add_argument(
+        "--out", default="pool.jsonl", metavar="PATH",
+        help="merged checkpoint file (default: pool.jsonl; the run report "
+        "lands beside it)",
+    )
+    pool.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="directory for shard checkpoints, worker logs and grid.json "
+        "(default: <out>-shards next to --out)",
+    )
+    pool.add_argument(
         "--no-progress", action="store_true", help="suppress the stderr progress line"
     )
 
@@ -334,24 +539,7 @@ def _sweep_progress(stream) -> Callable[[int, int], None]:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    try:
-        backend = resolve_backend(args.backend)
-    except ValueError as error:  # bad $REPRO_BENCH_BACKEND; --backend is choice-checked
-        raise _UsageError(str(error)) from error
-    grid = GridSpec(
-        protocols=tuple(args.protocols),
-        ns=tuple(args.ns),
-        rs=tuple(args.rs),
-        adversaries=tuple(args.adversaries),
-        fault_rates=tuple(args.fault_rates),
-        fault_models=tuple(args.fault_models),
-        burst_sizes=tuple(args.burst_sizes),
-        trials=args.trials,
-        seed=args.seed,
-        max_interactions=args.max_interactions,
-        check_interval=args.batch,
-        backend=backend,
-    )
+    grid = _grid_from_args(args)
     progress = None if args.no_progress else _sweep_progress(sys.stderr)
     result = run_sweep(
         grid,
@@ -360,13 +548,56 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         resume=args.resume,
         force=args.force,
         progress=progress,
+        shard=args.shard,
     )
     cells = len(result.rows)
-    title = f"Scenario sweep: {len(result.specs)} trials over {cells} cells"
+    if result.shard is not None:
+        index, count = result.shard
+        title = (
+            f"Scenario sweep shard {index}/{count}: {len(result.specs)} "
+            f"owned trials over {cells} cells"
+        )
+    else:
+        title = f"Scenario sweep: {len(result.specs)} trials over {cells} cells"
     if result.resumed_trials:
         title += f" ({result.resumed_trials} resumed from checkpoint)"
     print(format_table(result.rows, title=title))
     print(f"[per-trial results in {args.out}]")
+    return 0
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    report = merge_checkpoints(args.shards, args.out)
+    print(f"merged {report.shards} shards ({report.trials} trials) into {report.out}")
+    return 0
+
+
+def cmd_pool(args: argparse.Namespace) -> int:
+    grid = _grid_from_args(args)
+    budget = BudgetCaps(max_seconds=args.max_seconds, max_trials=args.max_trials)
+    progress = None if args.no_progress else _sweep_progress(sys.stderr)
+    result = run_pool(
+        grid,
+        out=args.out,
+        workers=args.workers,
+        shards=args.shards,
+        lease_timeout=args.lease_timeout,
+        provider=args.provider,
+        max_retries=args.max_retries,
+        backoff=args.backoff,
+        budget=budget,
+        workdir=args.workdir,
+        progress=progress,
+    )
+    specs = expand_grid(grid)
+    outcomes, _ = load_checkpoint(Path(args.out), grid, specs)
+    rows = aggregate_rows(specs, [outcomes[index] for index in range(len(specs))])
+    title = (
+        f"Pooled sweep: {len(specs)} trials over "
+        f"{result.report['shards']} shards"
+    )
+    print(format_table(rows, title=title))
+    print(f"[merged results in {result.out}; run report in {result.report_path}]")
     return 0
 
 
@@ -403,6 +634,8 @@ COMMANDS = {
     "recover": cmd_recover,
     "tradeoff": cmd_tradeoff,
     "sweep": cmd_sweep,
+    "merge": cmd_merge,
+    "pool": cmd_pool,
     "statespace": cmd_statespace,
     "lint": cmd_lint,
 }
@@ -412,7 +645,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return COMMANDS[args.command](args)
-    except (SweepError, _UsageError) as error:
+    except (FabricError, SweepError, _UsageError) as error:
         # Parameter combinations argparse can't see (r > n/2, a checkpoint
         # for a different grid, ...) get one clean line, not a traceback;
         # anything else propagates so real bugs keep their tracebacks.

@@ -1,0 +1,255 @@
+"""Worker providers — *where* fabric workers run, behind a registry.
+
+Mirrors the execution-backend idiom (:mod:`repro.sim.backends`): a
+:class:`WorkerProvider` is the small lifecycle surface the pool
+coordinator needs — ``spawn`` / ``poll`` / ``kill`` — and providers are
+looked up by name through :func:`get_provider`, so adding a new substrate
+(a container runner, a cloud API) is one registration, not a coordinator
+change.  Two providers ship:
+
+* ``local`` — subprocesses on this machine (:class:`LocalWorkerProvider`),
+  the default and the one CI exercises, including the kill-and-re-lease
+  story;
+* ``ssh`` — a stub (:class:`SSHWorkerProvider`) that documents the remote
+  shape (it builds the ``ssh host python -m repro ...`` argv) but refuses
+  to spawn until a real transport lands.
+
+Budgets are first-class: :class:`BudgetCaps` carries the hard stops the
+coordinator enforces — max wall-clock seconds and max trials — so a
+runaway grid is refused before any worker spawns and a hung fleet is
+killed instead of billed.
+"""
+
+from __future__ import annotations
+
+import shlex
+import subprocess
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Any, Callable, Optional, Sequence
+
+from repro.fabric.errors import FabricError
+
+
+@dataclass(frozen=True)
+class BudgetCaps:
+    """Hard budget stops for a pool run (``None`` = uncapped).
+
+    ``max_seconds`` bounds the coordinator's wall clock: when it trips,
+    every live worker is killed and the run fails loudly.  ``max_trials``
+    bounds the grid itself and is checked *before* any worker spawns.
+    """
+
+    max_seconds: Optional[float] = None
+    max_trials: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise FabricError(f"max_seconds cap must be > 0, got {self.max_seconds}")
+        if self.max_trials is not None and self.max_trials < 1:
+            raise FabricError(f"max_trials cap must be >= 1, got {self.max_trials}")
+
+    def to_dict(self) -> dict[str, Optional[float]]:
+        return {"max_seconds": self.max_seconds, "max_trials": self.max_trials}
+
+
+@dataclass
+class WorkerHandle:
+    """One spawned worker, as the provider tracks it.
+
+    ``process`` and ``log_handle`` are provider-private state (the local
+    provider keeps the :class:`subprocess.Popen` and its open log file
+    here); the coordinator only ever passes the handle back to the
+    provider that created it.
+    """
+
+    worker_id: str
+    argv: tuple[str, ...]
+    process: Optional[Any] = None
+    log_path: Optional[Path] = None
+    log_handle: Optional[IO[bytes]] = None
+
+
+class WorkerProvider(ABC):
+    """The lifecycle surface the pool coordinator drives.
+
+    Implementations must be non-blocking: ``spawn`` returns as soon as
+    the worker is launched, ``poll`` never waits, and ``kill`` is a hard
+    stop (the lease layer owns retries and graceful degradation).
+    """
+
+    #: Registry name (set per subclass).
+    name: str = "abstract"
+
+    @abstractmethod
+    def spawn(
+        self,
+        worker_id: str,
+        argv: Sequence[str],
+        *,
+        log_path: Optional[Path] = None,
+    ) -> WorkerHandle:
+        """Launch ``argv`` as a worker; its output goes to ``log_path``."""
+
+    @abstractmethod
+    def poll(self, handle: WorkerHandle) -> Optional[int]:
+        """``None`` while the worker runs, else its exit code."""
+
+    @abstractmethod
+    def kill(self, handle: WorkerHandle) -> None:
+        """Hard-stop the worker (idempotent; reclaimed leases call this)."""
+
+
+class LocalWorkerProvider(WorkerProvider):
+    """Workers as subprocesses of this machine — the default provider."""
+
+    name = "local"
+
+    def spawn(
+        self,
+        worker_id: str,
+        argv: Sequence[str],
+        *,
+        log_path: Optional[Path] = None,
+    ) -> WorkerHandle:
+        log_handle: Optional[IO[bytes]] = None
+        if log_path is not None:
+            log_path.parent.mkdir(parents=True, exist_ok=True)
+            log_handle = open(log_path, "ab")
+        try:
+            process = subprocess.Popen(
+                list(argv),
+                stdout=log_handle if log_handle is not None else subprocess.DEVNULL,
+                stderr=subprocess.STDOUT,
+                stdin=subprocess.DEVNULL,
+            )
+        except OSError as error:
+            if log_handle is not None:
+                log_handle.close()
+            raise FabricError(f"could not spawn worker {worker_id}: {error}") from None
+        return WorkerHandle(
+            worker_id=worker_id,
+            argv=tuple(argv),
+            process=process,
+            log_path=log_path,
+            log_handle=log_handle,
+        )
+
+    def poll(self, handle: WorkerHandle) -> Optional[int]:
+        returncode = handle.process.poll()
+        if returncode is not None:
+            self._release(handle)
+        return returncode
+
+    def kill(self, handle: WorkerHandle) -> None:
+        if handle.process.poll() is None:
+            handle.process.kill()
+            handle.process.wait()
+        self._release(handle)
+
+    @staticmethod
+    def _release(handle: WorkerHandle) -> None:
+        if handle.log_handle is not None:
+            handle.log_handle.close()
+            handle.log_handle = None
+
+
+class SSHWorkerProvider(WorkerProvider):
+    """Remote workers over SSH — a registered stub.
+
+    Documents the remote shape (:meth:`remote_argv` is the command a real
+    transport would run) and fails loudly at :meth:`spawn` rather than
+    pretending a fleet exists.  Registering the stub keeps the provider
+    surface honest: the coordinator, CLI and docs already speak its name,
+    so landing the transport is a provider change only.
+    """
+
+    name = "ssh"
+
+    def __init__(self, host: str = "", python: str = "python3"):
+        self.host = host
+        self.python = python
+
+    def remote_argv(self, argv: Sequence[str]) -> list[str]:
+        """The ``ssh`` command line a real transport would execute."""
+        if not self.host:
+            raise FabricError("the 'ssh' provider needs a host= option")
+        # The worker argv's interpreter is the *local* python; a remote
+        # host runs its own.
+        command = [self.python, *argv[1:]]
+        return ["ssh", self.host, shlex.join(command)]
+
+    def spawn(
+        self,
+        worker_id: str,
+        argv: Sequence[str],
+        *,
+        log_path: Optional[Path] = None,
+    ) -> WorkerHandle:
+        raise FabricError(
+            "the 'ssh' provider is a stub: it documents the remote worker "
+            f"shape ({shlex.join(self.remote_argv(argv)) if self.host else 'ssh HOST ...'}) "
+            "but has no transport yet; use provider='local' or register a "
+            "complete provider via repro.fabric.register_provider"
+        )
+
+    def poll(self, handle: WorkerHandle) -> Optional[int]:  # pragma: no cover - stub
+        raise FabricError("the 'ssh' provider is a stub and spawns no workers")
+
+    def kill(self, handle: WorkerHandle) -> None:  # pragma: no cover - stub
+        raise FabricError("the 'ssh' provider is a stub and spawns no workers")
+
+
+@dataclass(frozen=True)
+class ProviderSpec:
+    """One registered provider: a name, a factory, and a --help line."""
+
+    name: str
+    factory: Callable[..., WorkerProvider]
+    description: str = ""
+
+
+#: Name -> ProviderSpec, in registration order (default provider first).
+_REGISTRY: dict[str, ProviderSpec] = {}
+
+
+def register_provider(spec: ProviderSpec, *, replace: bool = False) -> ProviderSpec:
+    """Add a provider to the registry (the one-file-change extension point)."""
+    if not spec.name or not spec.name.isidentifier():
+        raise FabricError(f"provider name must be a simple identifier, got {spec.name!r}")
+    if spec.name in _REGISTRY and not replace:
+        raise FabricError(f"provider '{spec.name}' is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def provider_names() -> tuple[str, ...]:
+    """All registered provider names, default provider first."""
+    return tuple(_REGISTRY)
+
+
+def get_provider(name: str, **options: Any) -> WorkerProvider:
+    """Instantiate a registered provider by name (pure registry lookup)."""
+    try:
+        spec = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(provider_names())
+        raise FabricError(f"unknown provider '{name}' (known: {known})") from None
+    return spec.factory(**options)
+
+
+register_provider(
+    ProviderSpec(
+        name="local",
+        factory=LocalWorkerProvider,
+        description="subprocess workers on this machine",
+    )
+)
+register_provider(
+    ProviderSpec(
+        name="ssh",
+        factory=SSHWorkerProvider,
+        description="remote workers over SSH (stub: documents the shape, no transport)",
+    )
+)

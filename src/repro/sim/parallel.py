@@ -43,7 +43,7 @@ from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, TypeVa
 
 from repro.core.protocol import PopulationProtocol
 from repro.sim.backends import DEFAULT_BACKEND
-from repro.sim.initial_state import InitialState, require_init
+from repro.sim.initial_state import InitialState, reject_positional, require_init
 from repro.sim.simulation import ConfigPredicate, run_until
 
 
@@ -130,17 +130,21 @@ def _picklable(specs: Sequence[TrialSpec]) -> bool:
 
 def run_trial_specs(
     specs: Iterable[TrialSpec],
+    *misused: Any,
     workers: Optional[int] = 1,
 ) -> list[TrialOutcome]:
     """Execute specs on ``workers`` processes; outcomes come back in spec order.
 
-    ``workers=1`` (the default) runs in-process with zero pool overhead,
-    consuming ``specs`` lazily — a generator of specs is built, run, and
-    discarded one trial at a time, so peak memory stays O(one config).
-    ``workers=None`` or ``0`` uses one worker per CPU.  Unpicklable specs
-    (lambda predicates, closure-built protocols) degrade to in-process
-    execution with a warning rather than failing.
+    ``workers`` is keyword-only: ``run_trial_specs(specs, 4)`` used to
+    read as "four specs" as easily as "four workers", so the count must
+    now be named.  ``workers=1`` (the default) runs in-process with zero
+    pool overhead, consuming ``specs`` lazily — a generator of specs is
+    built, run, and discarded one trial at a time, so peak memory stays
+    O(one config).  ``workers=None`` or ``0`` uses one worker per CPU.
+    Unpicklable specs (lambda predicates, closure-built protocols)
+    degrade to in-process execution with a warning rather than failing.
     """
+    reject_positional("run_trial_specs", misused, ("workers",))
     if resolve_workers(workers) <= 1:
         return [run_trial(spec) for spec in specs]
     spec_list = list(specs)
@@ -173,6 +177,7 @@ _UNPICKLABLE_WARNING = (
 def stream_ordered(
     items: Iterable[_Item],
     fn: Callable[[_Item], _Result],
+    *misused: Any,
     workers: Optional[int] = 1,
     window: Optional[int] = None,
 ) -> Iterator[_Result]:
@@ -185,6 +190,12 @@ def stream_ordered(
     ``map(fn, items)`` for any worker count.  Consumers can therefore
     checkpoint or aggregate incrementally without giving up determinism.
 
+    ``workers`` and ``window`` are keyword-only (a bare
+    ``stream_ordered(items, fn, 8)`` is ambiguous between the two);
+    stray positionals raise at *call* time, not first-``next`` time —
+    validation lives in this plain function, which then hands off to the
+    inner generator.
+
     ``items`` is consumed lazily: at most ``window`` items (default
     ``4 × workers``) are in flight or buffered at once, so arbitrarily
     long sweeps run in O(window) memory.  ``workers`` follows
@@ -194,15 +205,25 @@ def stream_ordered(
     sweep — its result still streams out at its index, but while it runs
     the parent cannot yield earlier completions.
     """
+    reject_positional("stream_ordered", misused, ("workers", "window"))
     worker_count = resolve_workers(workers)
+    if window is not None and window < 1:
+        raise ValueError(f"window must be positive, got {window}")
+    return _stream_ordered(items, fn, worker_count, window)
+
+
+def _stream_ordered(
+    items: Iterable[_Item],
+    fn: Callable[[_Item], _Result],
+    worker_count: int,
+    window: Optional[int],
+) -> Iterator[_Result]:
     if worker_count <= 1:
         for item in items:
             yield fn(item)
         return
     if window is None:
         window = worker_count * 4
-    if window < 1:
-        raise ValueError(f"window must be positive, got {window}")
 
     iterator = enumerate(items)
     pending: dict[Any, int] = {}  # future -> item index
@@ -251,6 +272,7 @@ def stream_ordered(
 
 def run_trial_specs_streaming(
     specs: Iterable[TrialSpec],
+    *misused: Any,
     workers: Optional[int] = 1,
     window: Optional[int] = None,
 ) -> Iterator[TrialOutcome]:
@@ -260,5 +282,8 @@ def run_trial_specs_streaming(
     each outcome is yielded as soon as it and all its predecessors have
     completed, so long sweeps can checkpoint incrementally.  The yielded
     sequence is identical to the blocking runner for any worker count.
+    ``workers`` and ``window`` are keyword-only, as everywhere on this
+    surface.
     """
+    reject_positional("run_trial_specs_streaming", misused, ("workers", "window"))
     return stream_ordered(specs, run_trial, workers=workers, window=window)

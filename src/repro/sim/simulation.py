@@ -54,15 +54,26 @@ class SimulationResult:
 
 
 class Simulation:
-    """A single protocol execution under the uniform random scheduler."""
+    """A single protocol execution under the uniform random scheduler.
+
+    The configuration arguments are keyword-only: ``Simulation(p, cfg)``
+    used to bind a stray int to ``config`` (and ``Simulation(p, cfg, 32,
+    7)`` an ``n``-shaped int to ``seed``) silently; now both get the
+    pointed :class:`TypeError` from :func:`~repro.sim.initial_state
+    .reject_positional`.
+    """
 
     def __init__(
         self,
         protocol: PopulationProtocol,
+        *misused: Any,
         config: Optional[list[Any]] = None,
         n: Optional[int] = None,
         seed: int = 0,
     ):
+        from repro.sim.initial_state import reject_positional
+
+        reject_positional("Simulation", misused, ("config", "n", "seed"))
         if config is None:
             if n is None:
                 raise ValueError("provide either an initial config or a population size n")
@@ -173,16 +184,16 @@ class Simulation:
         )
 
 
-def resolve_backend(backend: Optional[str]) -> str:
+def resolve_backend(backend: Optional[str] = None, *misused: Any) -> str:
     """Normalize a backend request (see :func:`repro.sim.backends.resolve_backend`)."""
     from repro.sim import backends
 
-    return backends.resolve_backend(backend)
+    return backends.resolve_backend(backend, *misused)
 
 
 def make_simulation(
     protocol: PopulationProtocol,
-    *,
+    *misused: Any,
     init: Optional["InitialState"] = None,
     n: Optional[int] = None,
     seed: int = 0,
@@ -203,14 +214,14 @@ def make_simulation(
     from repro.sim import backends
 
     return backends.make_simulation(
-        protocol, init=init, n=n, seed=seed, backend=backend, **removed
+        protocol, *misused, init=init, n=n, seed=seed, backend=backend, **removed
     )
 
 
 def run_until(
     protocol: PopulationProtocol,
     predicate: ConfigPredicate,
-    *,
+    *misused: Any,
     init: Optional["InitialState"] = None,
     n: Optional[int] = None,
     seed: int = 0,
@@ -220,6 +231,11 @@ def run_until(
     **removed: Any,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :func:`make_simulation`."""
+    from repro.sim.initial_state import reject_positional
+
+    reject_positional(
+        "run_until", misused, ("init", "n", "seed", "max_interactions")
+    )
     sim = make_simulation(
         protocol, init=init, n=n, seed=seed, backend=backend, **removed
     )

@@ -51,7 +51,7 @@ import itertools
 import json
 import math
 import statistics
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields
 from pathlib import Path
 from typing import Any, Callable, Optional, Sequence
 
@@ -500,6 +500,71 @@ def expand_grid(grid: GridSpec) -> list[ScenarioSpec]:
 
 
 # ---------------------------------------------------------------------------
+# Deterministic sharding
+# ---------------------------------------------------------------------------
+
+
+#: Fixed salt under which :func:`shard_of` hashes trial indices.  Part of
+#: the checkpoint format: changing it re-partitions every sharded sweep.
+_SHARD_SALT = 0x51A2D
+
+#: A shard request: ``(index, count)`` with ``0 <= index < count``.
+Shard = tuple[int, int]
+
+
+def validate_shard(shard: Shard) -> Shard:
+    """Normalize and validate an ``(index, count)`` shard request."""
+    try:
+        index, count = (int(value) for value in shard)
+    except (TypeError, ValueError):
+        raise SweepError(f"shard must be an (index, count) pair, got {shard!r}") from None
+    if count < 1:
+        raise SweepError(f"shard count must be >= 1, got {count}")
+    if not 0 <= index < count:
+        raise SweepError(f"shard index must satisfy 0 <= index < {count}, got {index}")
+    return index, count
+
+
+def shard_of(index: int, shard_count: int) -> int:
+    """The shard owning global trial index ``index`` among ``shard_count``.
+
+    A splitmix-style hash of the trial index alone (:func:`derive_seed`
+    under a fixed salt), so the assignment is a pure function of
+    ``(index, shard_count)`` — stable across processes, enumeration
+    orders, and machines.  That stability is what makes shard outputs
+    disjoint by construction and lets the merge validator treat any
+    duplicate trial index as evidence of double-counting.
+    """
+    if shard_count < 1:
+        raise SweepError(f"shard count must be >= 1, got {shard_count}")
+    return derive_seed(_SHARD_SALT, index) % shard_count
+
+
+def shard_specs(
+    specs: Sequence[ScenarioSpec], shard: Shard, *, by_cell: bool = False
+) -> list[ScenarioSpec]:
+    """Select the specs one shard owns, preserving expansion order.
+
+    Trial-granular by default: spec ``i`` belongs to shard
+    ``shard_of(i, count)``.  With ``by_cell=True`` whole grid cells are
+    assigned by the hash of their *first* trial index — required by the
+    batch-cell engines, whose per-row outcomes depend on the full cell
+    membership advancing in lockstep (splitting a cell across shards
+    would change its bytes relative to an unsharded run).
+    """
+    index, count = validate_shard(shard)
+    if count == 1:
+        return list(specs)
+    if not by_cell:
+        return [spec for spec in specs if shard_of(spec.index, count) == index]
+    selected: list[ScenarioSpec] = []
+    for cell in _iter_cells(specs):
+        if shard_of(cell[0].index, count) == index:
+            selected.extend(cell)
+    return selected
+
+
+# ---------------------------------------------------------------------------
 # Scenario execution (runs inside the worker process)
 # ---------------------------------------------------------------------------
 
@@ -696,12 +761,150 @@ def _dump_line(record: dict[str, Any]) -> str:
     return json.dumps(record, separators=(",", ":"), sort_keys=False) + "\n"
 
 
-def _meta_record(grid: GridSpec) -> dict[str, Any]:
-    return {"kind": _META_KIND, "version": _JSONL_VERSION, "grid": grid.to_dict()}
+def _meta_record(grid: GridSpec, shard: Optional[Shard] = None) -> dict[str, Any]:
+    record: dict[str, Any] = {
+        "kind": _META_KIND, "version": _JSONL_VERSION, "grid": grid.to_dict(),
+    }
+    if shard is not None:
+        # Sharded files carry their identity so resume and merge can tell
+        # a shard checkpoint from an unsharded one; the key is *absent*
+        # (not null) on unsharded files, keeping their bytes unchanged.
+        record["shard"] = list(validate_shard(shard))
+    return record
+
+
+def _default_legacy_grid_keys(stored_grid: dict[str, Any]) -> dict[str, Any]:
+    # Checkpoints written before the backend / fault-model / burst knobs
+    # existed carry none of those keys; they are object-backend,
+    # default-model files, so defaulting the keys (mirroring
+    # ScenarioOutcome.from_record) keeps them readable instead of
+    # rejecting them as "a different grid".
+    stored_grid = dict(stored_grid)
+    stored_grid.setdefault("backend", DEFAULT_BACKEND)
+    stored_grid.setdefault("burst_sizes", [1])
+    stored_grid.setdefault("fault_models", [DEFAULT_FAULT_MODEL])
+    return stored_grid
+
+
+def read_checkpoint_grid(path: Path) -> tuple[GridSpec, Optional[Shard]]:
+    """Read just the metadata line: the grid a checkpoint was written for.
+
+    Returns ``(grid, shard)`` where ``shard`` is the ``(index, count)``
+    pair of a sharded checkpoint or ``None`` for an unsharded one.  This
+    is the merge validator's first pass — cheap enough to run over every
+    shard file before any of them is fully parsed.
+    """
+    with open(path, "rb") as handle:
+        first = handle.readline()
+    if not first.endswith(b"\n"):
+        raise SweepError(f"{path}: no complete metadata line (empty or truncated file)")
+    try:
+        meta = json.loads(first.decode("utf-8"))
+        if not isinstance(meta, dict):
+            raise ValueError("not a sweep record")
+    except (ValueError, UnicodeDecodeError) as error:
+        raise SweepError(f"{path}: corrupt metadata line: {error}") from None
+    if meta.get("kind") != _META_KIND:
+        raise SweepError(f"{path}: first line is not a {_META_KIND} record")
+    if meta.get("version") != _JSONL_VERSION:
+        raise SweepError(f"{path}: unsupported checkpoint version {meta.get('version')}")
+    stored_grid = meta.get("grid")
+    if not isinstance(stored_grid, dict):
+        raise SweepError(f"{path}: metadata record carries no grid")
+    try:
+        grid = GridSpec.from_dict(_default_legacy_grid_keys(stored_grid))
+    except (TypeError, SweepError) as error:
+        raise SweepError(f"{path}: metadata grid does not parse: {error}") from None
+    shard = meta.get("shard")
+    return grid, validate_shard(tuple(shard)) if shard is not None else None
+
+
+def write_checkpoint(
+    path: Path,
+    grid: GridSpec,
+    outcomes: Sequence[ScenarioOutcome],
+    *,
+    shard: Optional[Shard] = None,
+) -> None:
+    """Write a complete checkpoint file in the canonical encoding.
+
+    The metadata line plus one trial record per outcome, in the given
+    order — byte-identical to what :func:`run_sweep` streams for the same
+    outcomes, which is what lets ``repro merge`` reconstitute an
+    unsharded file from validated shard files.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        handle.write(_dump_line(_meta_record(grid, shard)))
+        for outcome in outcomes:
+            handle.write(_dump_line(outcome.to_record()))
+
+
+#: GridSpec field names accepted by declarative grid files.
+GRID_FILE_KEYS: tuple[str, ...] = tuple(field.name for field in fields(GridSpec))
+
+#: Expected JSON shape per grid-file key: (container element type | scalar type).
+_GRID_FILE_SCHEMA: dict[str, tuple[bool, type | tuple[type, ...]]] = {
+    "protocols": (True, str),
+    "ns": (True, int),
+    "rs": (True, int),
+    "adversaries": (True, str),
+    "fault_rates": (True, (int, float)),
+    "fault_models": (True, str),
+    "burst_sizes": (True, int),
+    "trials": (False, int),
+    "seed": (False, int),
+    "max_interactions": (False, int),
+    "check_interval": (False, int),
+    "backend": (False, str),
+}
+
+
+def load_grid_file(path: str | Path) -> dict[str, Any]:
+    """Read a declarative grid file: JSON with :class:`GridSpec` keys.
+
+    The file is the one artifact a fabric worker needs instead of a dozen
+    flags (``repro sweep --grid grid.json``); flags still override its
+    values.  Returns the validated key/value dict — semantic validation
+    (axis contents, backend capability) stays with ``GridSpec`` itself.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise SweepError(f"cannot read grid file {path}: {error}") from None
+    except ValueError as error:
+        raise SweepError(f"{path}: grid file is not valid JSON: {error}") from None
+    if not isinstance(data, dict):
+        raise SweepError(f"{path}: grid file must be a JSON object of GridSpec keys")
+    unknown = sorted(set(data) - set(GRID_FILE_KEYS))
+    if unknown:
+        known = ", ".join(GRID_FILE_KEYS)
+        raise SweepError(
+            f"{path}: unknown grid key '{unknown[0]}' (known: {known})"
+        )
+    for key, value in data.items():
+        is_axis, element = _GRID_FILE_SCHEMA[key]
+        if is_axis:
+            ok = isinstance(value, list) and all(
+                isinstance(item, element) and not isinstance(item, bool)
+                for item in value
+            )
+        else:
+            ok = isinstance(value, element) and not isinstance(value, bool)
+        if not ok:
+            shape = f"a list of {element}" if is_axis else str(element)
+            raise SweepError(f"{path}: grid key '{key}' must be {shape}, got {value!r}")
+    return data
 
 
 def load_checkpoint(
-    path: Path, grid: GridSpec, specs: Sequence[ScenarioSpec]
+    path: Path,
+    grid: GridSpec,
+    specs: Sequence[ScenarioSpec],
+    *,
+    shard: Optional[Shard] = None,
 ) -> tuple[dict[int, ScenarioOutcome], int]:
     """Read a (possibly truncated) JSONL checkpoint back.
 
@@ -710,6 +913,9 @@ def load_checkpoint(
     — and is simply discarded; corruption anywhere *else* is an error, as
     is a metadata line whose grid differs from ``grid`` or a trial record
     that contradicts its spec (different seed ⇒ different grid or code).
+    ``shard`` is the shard this checkpoint is expected to cover — a file
+    written for a different shard (or an unsharded file when a shard is
+    expected, and vice versa) is refused rather than silently mixed.
     """
     raw = path.read_bytes()
     outcomes: dict[int, ScenarioOutcome] = {}
@@ -769,6 +975,16 @@ def load_checkpoint(
             f"{path}: checkpoint was written for a different grid; "
             "re-run with the original flags or start a fresh output file"
         )
+    expected_shard = None if shard is None else list(validate_shard(shard))
+    stored_shard = meta.get("shard")
+    if stored_shard != expected_shard:
+        def _describe(value: Optional[list[int]]) -> str:
+            return "unsharded" if value is None else f"shard {value[0]}/{value[1]}"
+        raise SweepError(
+            f"{path}: checkpoint is {_describe(stored_shard)} but this run is "
+            f"{_describe(expected_shard)}; use a matching --shard or a fresh "
+            "output file"
+        )
     valid_end = meta_end
     for record, end in records[1:]:
         if record.get("kind") != _TRIAL_KIND:
@@ -816,9 +1032,10 @@ class SweepResult:
     """Everything a finished (or resumed-and-finished) sweep produced."""
 
     grid: GridSpec
-    specs: list[ScenarioSpec]
+    specs: list[ScenarioSpec]  # the specs this run owned (the shard's, if any)
     outcomes: list[ScenarioOutcome]  # in global index order
     resumed_trials: int  # how many came from the checkpoint
+    shard: Optional[Shard] = None  # the shard this run covered, if sharded
 
     @property
     def rows(self) -> list[dict[str, object]]:
@@ -929,6 +1146,7 @@ def run_sweep(
     resume: bool = False,
     force: bool = False,
     progress: Optional[ProgressCallback] = None,
+    shard: Optional[Shard] = None,
 ) -> SweepResult:
     """Run (or resume) a scenario-grid sweep.
 
@@ -945,6 +1163,15 @@ def run_sweep(
     the JSONL bytes themselves) are identical for any ``workers`` value
     and for any interrupt/resume split.
 
+    With ``shard=(i, k)`` the run owns only its hash-assigned slice of
+    the expanded grid (:func:`shard_specs`): the checkpoint carries the
+    shard identity in its metadata, resume refuses a mismatched file,
+    and the trial records are exactly the unsharded run's bytes for the
+    owned indices — which is what lets ``repro merge`` concatenate the
+    ``k`` shard files back into the byte-identical unsharded checkpoint.
+    On a batch-cell backend whole cells are assigned to shards, keeping
+    the lockstep cell membership (and therefore the bytes) intact.
+
     On a batch-cell backend (``Backend.batch_cells``, e.g. ``batch``)
     the sweep runs cell-grouped and in-process — every cell's trials are
     one lockstep engine, which *is* the parallelism — so ``workers`` is
@@ -953,12 +1180,25 @@ def run_sweep(
     deterministically and only its missing rows are appended).
     """
     specs = expand_grid(grid)
+    batch_cells = get_backend(grid.backend).batch_cells
+    if shard is None:
+        work_specs = specs
+    else:
+        shard = validate_shard(shard)
+        work_specs = shard_specs(specs, shard, by_cell=batch_cells)
+    owned = {spec.index for spec in work_specs}
     completed: dict[int, ScenarioOutcome] = {}
     path = Path(jsonl_path) if jsonl_path is not None else None
     fresh_file = True
     if path is not None and path.exists() and path.stat().st_size > 0:
         if resume:
-            completed, valid_end = load_checkpoint(path, grid, specs)
+            completed, valid_end = load_checkpoint(path, grid, specs, shard=shard)
+            stray = sorted(set(completed) - owned)
+            if stray:
+                raise SweepError(
+                    f"{path}: trial record {stray[0]} is not owned by "
+                    f"shard {shard[0]}/{shard[1]}"
+                )
             with open(path, "r+b") as handle:
                 handle.truncate(valid_end)
             fresh_file = valid_end == 0
@@ -970,10 +1210,10 @@ def run_sweep(
                 "or overwrite it (--force / force=True)"
             )
 
-    to_run = [spec for spec in specs if spec.index not in completed]
+    to_run = [spec for spec in work_specs if spec.index not in completed]
     outcomes = dict(completed)
     done = len(completed)
-    total = len(specs)
+    total = len(work_specs)
     if progress:
         progress(done, total)
     handle = None
@@ -982,10 +1222,10 @@ def run_sweep(
             path.parent.mkdir(parents=True, exist_ok=True)
             handle = open(path, "a", encoding="utf-8", newline="\n")
             if fresh_file:
-                handle.write(_dump_line(_meta_record(grid)))
+                handle.write(_dump_line(_meta_record(grid, shard)))
                 handle.flush()
-        if get_backend(grid.backend).batch_cells:
-            outcome_stream = _run_missing_cells(specs, completed)
+        if batch_cells:
+            outcome_stream = _run_missing_cells(work_specs, completed)
         else:
             outcome_stream = stream_ordered(to_run, run_scenario, workers=workers)
         for outcome in outcome_stream:
@@ -999,7 +1239,8 @@ def run_sweep(
     finally:
         if handle is not None:
             handle.close()
-    ordered = [outcomes[index] for index in range(total)]
+    ordered = [outcomes[spec.index] for spec in work_specs]
     return SweepResult(
-        grid=grid, specs=specs, outcomes=ordered, resumed_trials=len(completed)
+        grid=grid, specs=list(work_specs), outcomes=ordered,
+        resumed_trials=len(completed), shard=shard,
     )

@@ -23,7 +23,11 @@ from typing import Callable, Optional, Sequence, Union
 from repro.core.protocol import PopulationProtocol
 from repro.scheduler.rng import derive_seed
 from repro.sim.backends import get_backend, resolve_backend
-from repro.sim.initial_state import InitialState, reject_removed_kwargs
+from repro.sim.initial_state import (
+    InitialState,
+    reject_positional,
+    reject_removed_kwargs,
+)
 from repro.sim.parallel import TrialSpec, run_trial_specs
 from repro.sim.simulation import ConfigPredicate
 
@@ -88,7 +92,7 @@ class TrialSummary:
 def run_trials(
     protocol: PopulationProtocol,
     predicate: ConfigPredicate,
-    *,
+    *misused: object,
     n: int,
     trials: int,
     max_interactions: int,
@@ -134,6 +138,7 @@ def run_trials(
     spec list as one in-process batch; ``workers`` is irrelevant there —
     the batch engine's lockstep matrix *is* its parallelism.
     """
+    reject_positional("run_trials", misused, ("n", "trials", "max_interactions"))
     reject_removed_kwargs("run_trials", removed)
     engine = resolve_backend(backend)
 

@@ -25,11 +25,28 @@ class TestParser:
         assert args.sizes == [8, 16]
 
     def test_sweep_defaults(self):
+        # Grid flags parse to None (a --grid file may fill them); the
+        # effective defaults live in _grid_from_args, asserted below.
         args = build_parser().parse_args(["sweep"])
-        assert args.protocols == ["elect_leader"]
-        assert args.ns == [16, 32] and args.rs == [4]
-        assert args.adversaries == ["clean"] and args.fault_rates == [0.0]
+        assert args.protocols is None and args.ns is None and args.rs is None
+        assert args.grid is None and args.shard is None
         assert args.out == "sweep.jsonl" and not args.resume and not args.force
+
+    def test_sweep_effective_grid_defaults(self):
+        from repro.cli import _grid_from_args
+
+        grid = _grid_from_args(build_parser().parse_args(["sweep"]))
+        assert grid.protocols == ("elect_leader",)
+        assert grid.ns == (16, 32) and grid.rs == (4,)
+        assert grid.adversaries == ("clean",) and grid.fault_rates == (0.0,)
+
+    def test_sweep_shard_flag(self):
+        args = build_parser().parse_args(["sweep", "--shard", "1/4"])
+        assert args.shard == (1, 4)
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--shard", "4/4"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--shard", "nonsense"])
 
 
 class TestInputValidation:

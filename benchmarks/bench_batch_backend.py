@@ -185,6 +185,33 @@ def test_e22_batch_backend_speedup(benchmark, record_table):
         for row in (0, 1)
     )
 
+    # Per-step wall-clock breakdown (draw / match / apply / retire): an
+    # instrumented engine re-runs the cell so kernel regressions are
+    # attributable to a phase, not just visible as a ratio change.
+    breakdown_engine = make_simulation(
+        protocol,
+        init=Replicated(_seeded_start(N), TRIALS),
+        seed=7,
+        backend="batch",
+    )
+    step_timings = breakdown_engine.instrument_steps()
+    breakdown_engine.run_rows_until(
+        predicate, max_interactions=BUDGET, check_interval=CHECK_INTERVAL
+    )
+    step_total = sum(step_timings.values())
+    record_table(
+        "E22_step_breakdown",
+        [
+            {
+                "phase": phase,
+                "seconds": round(seconds, 4),
+                "share": f"{(seconds / step_total * 100) if step_total else 0.0:.0f}%",
+            }
+            for phase, seconds in step_timings.items()
+        ],
+        f"E22: batch per-step breakdown (n={N}, {TRIALS}-trial cell)",
+    )
+
     update_perf_summary(
         "E22_batch_backend",
         {
@@ -203,6 +230,9 @@ def test_e22_batch_backend_speedup(benchmark, record_table):
             "ci_overlap": ci_overlap,
             "single_trial_exact": single_exact,
             "fault_schedule_exact": schedule_exact,
+            "step_breakdown_seconds": {
+                phase: round(seconds, 4) for phase, seconds in step_timings.items()
+            },
             "rows": rows,
         },
     )

@@ -62,6 +62,7 @@ from repro.sim.initial_state import (
     Replicated,
     SampledStart,
 )
+from repro.sim.kernels import JitBackendError, jit_available
 from repro.sim.parallel import (
     TrialOutcome,
     TrialSpec,
@@ -102,9 +103,11 @@ __all__ = [
     "Replicated",
     "SampledStart",
     # single executions
+    "JitBackendError",
     "Simulation",
     "SimulationResult",
     "backend_names",
+    "jit_available",
     "make_simulation",
     "resolve_backend",
     "run_until",

@@ -105,3 +105,7 @@ class CaiIzumiWada(RankingProtocol):
         (= silent = goal) configuration.
         """
         return int(counts.max()) <= 1
+
+    def goal_counts_rows(self, counts_rows):
+        """Row-vectorized form (batch engines): one array op over rows."""
+        return counts_rows.max(axis=1) <= 1

@@ -135,6 +135,10 @@ class LooselyStabilizingLeaderElection(PopulationProtocol):
         """Counts form (counts backend): one agent in the leader-major block."""
         return int(counts[self.timer_max + 1:].sum()) == 1
 
+    def goal_counts_rows(self, counts_rows):
+        """Row-vectorized form (batch engines): one array op over rows."""
+        return counts_rows[:, self.timer_max + 1:].sum(axis=1) == 1
+
     # ------------------------------------------------------------------
 
     def holding_time(self, config: list[LooseState], rng: RNG, budget: int) -> int:

@@ -69,3 +69,7 @@ class PairwiseElimination(PopulationProtocol):
     def goal_counts(self, counts) -> bool:
         """Counts form (counts backend): exactly one agent in the L state."""
         return int(counts[1]) == 1
+
+    def goal_counts_rows(self, counts_rows):
+        """Row-vectorized form (batch engines): one array op over rows."""
+        return counts_rows[:, 1] == 1

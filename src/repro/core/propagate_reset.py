@@ -181,6 +181,10 @@ class ResetEpidemicProtocol(PopulationProtocol):
         """Counts form (counts backend): every agent in the awake code 0."""
         return int(counts[0]) == int(counts.sum())
 
+    def goal_counts_rows(self, counts_rows):
+        """Row-vectorized form (batch engines): one array op over rows."""
+        return counts_rows[:, 0] == counts_rows.sum(axis=1)
+
     # ------------------------------------------------------------------
     # Finite-state encoding (array backend): code 0 is the awake agent;
     # resetters occupy a dense (reset_count, delay_timer) grid above it.

@@ -139,6 +139,21 @@ class PopulationProtocol(abc.ABC):
 
         return self.is_goal_configuration(configuration_from_counts(self, counts))
 
+    def goal_counts_rows(self, counts_rows):
+        """:meth:`goal_counts` over a whole ``(T, S)`` batch of count rows.
+
+        ``counts_rows`` stacks one count vector per trial (the batch
+        engines' native representation); the result is one boolean per
+        row, in any sequence ``numpy.asarray`` accepts.  Default: a
+        Python loop over :meth:`goal_counts` — correct everywhere, but
+        ``O(T)`` dispatches per convergence check.  Finite-state
+        protocols override this with one vectorized expression written
+        against the argument's own array operators (``counts_rows[:, 0]
+        == 0``, ...), which keeps their modules numpy-free at import
+        while answering every live row of a batch in one array op.
+        """
+        return [self.goal_counts(row) for row in counts_rows]
+
     # ------------------------------------------------------------------
 
     def clean_configuration(self, n: int) -> list[Any]:

@@ -1,6 +1,6 @@
 """The execution-backend registry — one place that knows every engine.
 
-Four engines run ``Simulation``-shaped workloads today:
+Five engines run ``Simulation``-shaped workloads today:
 
 * ``object`` — the per-interaction reference engine
   (:class:`repro.sim.simulation.Simulation`): state objects, Python
@@ -22,14 +22,23 @@ Four engines run ``Simulation``-shaped workloads today:
   batch.  Finite-state protocols only; the engine of choice when a sweep
   cell or a ``run_trials`` call runs many trials of one small-``S``
   protocol.
+* ``batch-jit`` — the batch engine with its lockstep step compiled
+  (:class:`repro.sim.kernels.JitBatchCountsEngine`): the same ``(T, S)``
+  matrix and law, stepped by numba-jitted kernels on counter-based
+  per-row streams — law-exact vs ``batch``, not bit-exact (stream
+  interleaving differs).  Requires the optional ``[jit]`` extra;
+  construction without numba raises a pointed install hint.
 
 Every dispatch site in the repository — :func:`make_simulation`,
 :func:`repro.sim.simulation.run_until`, :func:`repro.sim.trials
 .run_trials`, :class:`repro.sim.sweep.GridSpec`, the ``repro sweep
 --backend`` CLI choices — derives from this registry; none of them name a
-backend in an ``if``/``elif`` chain.  Adding a fifth engine is therefore
-one new module that calls :func:`register_backend` (plus its
-registration line below), and every entry point picks it up.
+backend in an ``if``/``elif`` chain.  Adding an engine is therefore one
+new module that calls :func:`register_backend` (plus its registration
+line below), and every entry point picks it up — the jitted leg below
+is exactly that: a factory, a ``trial_runner`` that reuses
+:func:`~repro.sim.batch_backend.run_trial_batch` with a different
+engine class, and ``batch_cells=True``; zero name conditionals anywhere.
 
 **The registry contract.**  A :class:`Backend` bundles:
 
@@ -96,6 +105,7 @@ BACKEND_OBJECT = "object"
 BACKEND_ARRAY = "array"
 BACKEND_COUNTS = "counts"
 BACKEND_BATCH = "batch"
+BACKEND_BATCH_JIT = "batch-jit"
 
 #: The engine used when neither the caller nor the environment names one.
 DEFAULT_BACKEND = BACKEND_OBJECT
@@ -166,7 +176,9 @@ def register_backend(backend: Backend, *, replace: bool = False) -> Backend:
     Registering a name twice is an error unless ``replace=True`` —
     accidental shadowing of a built-in engine should be loud.
     """
-    if not backend.name or not backend.name.isidentifier():
+    # A simple identifier, with dashes allowed as word separators
+    # ("batch-jit"): names double as CLI choices and registry keys.
+    if not backend.name or not backend.name.replace("-", "_").isidentifier():
         raise ValueError(f"backend name must be a simple identifier, got {backend.name!r}")
     if backend.name in _REGISTRY and not replace:
         raise ValueError(f"backend '{backend.name}' is already registered")
@@ -190,7 +202,9 @@ def get_backend(name: str) -> Backend:
     try:
         return _REGISTRY[name]
     except KeyError:
-        known = ", ".join(backend_names())
+        # Sorted, not registration order: the message is deterministic
+        # however (and in whatever order) engines were registered.
+        known = ", ".join(sorted(backend_names()))
         raise ValueError(f"unknown backend '{name}' (known: {known})") from None
 
 
@@ -333,6 +347,25 @@ def _batch_trial_runner(specs: Sequence[Any]) -> list:
     return run_trial_batch(specs)
 
 
+def _batch_jit_factory(
+    protocol: PopulationProtocol,
+    *,
+    init: Optional[InitialState] = None,
+    n: Optional[int] = None,
+    seed: int = 0,
+) -> Any:
+    from repro.sim.kernels import JitBatchCountsEngine
+
+    return JitBatchCountsEngine(protocol, init=init, n=n, seed=seed)
+
+
+def _batch_jit_trial_runner(specs: Sequence[Any]) -> list:
+    from repro.sim.batch_backend import run_trial_batch
+    from repro.sim.kernels import JitBatchCountsEngine
+
+    return run_trial_batch(specs, engine_factory=JitBatchCountsEngine)
+
+
 register_backend(
     Backend(
         name=BACKEND_OBJECT,
@@ -371,6 +404,20 @@ register_backend(
         ),
         native_form=NATIVE_COUNTS,
         trial_runner=_batch_trial_runner,
+        batch_cells=True,
+    )
+)
+register_backend(
+    Backend(
+        name=BACKEND_BATCH_JIT,
+        factory=_batch_jit_factory,
+        supports=_finite_state_supports,
+        description=(
+            "the batch engine's lockstep step compiled with numba "
+            "(optional [jit] extra; law-exact vs 'batch', not bit-exact)"
+        ),
+        native_form=NATIVE_COUNTS,
+        trial_runner=_batch_jit_trial_runner,
         batch_cells=True,
     )
 )

@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Optional, Sequence
 
 from repro.core.protocol import PopulationProtocol
@@ -175,6 +176,7 @@ class BatchCountsEngine:
         self._matrix = None
         self._driven = False
         self._row_events: list[list[FaultEvent]] = []
+        self._timings: Optional[dict[str, float]] = None
 
         if isinstance(init, Replicated):
             rows = [init.row(index) for index in range(init.trials)]
@@ -264,6 +266,38 @@ class BatchCountsEngine:
         return self._row_events[row]
 
     # ------------------------------------------------------------------
+    # Per-step wall-clock instrumentation (benchmark breakdowns)
+    # ------------------------------------------------------------------
+
+    #: Indirection point so subclasses and tests share one clock.
+    _perf_counter = staticmethod(perf_counter)
+
+    #: The accounted phases, in hot-loop order.
+    STEP_PHASES: tuple[str, ...] = ("draw", "match", "apply", "retire")
+
+    def instrument_steps(self) -> dict[str, float]:
+        """Switch on per-phase wall-clock accounting for this engine.
+
+        Returns the live accumulator mapping each of :data:`STEP_PHASES`
+        — ``draw`` (run lengths + composition sampling), ``match``
+        (pairing), ``apply`` (delta application + collisions), ``retire``
+        (convergence/silence checks) — to seconds spent so far.
+        Instrumentation never changes the draws: the numpy stepper only
+        reads the clock around its existing sections, and the jitted
+        engine switches to phase-split kernels that consume identical
+        per-row streams.  Call before driving; the benchmarks (E22/E24)
+        use this to print attributable breakdowns next to the gate.
+        """
+        if self._timings is None:
+            self._timings = {phase: 0.0 for phase in self.STEP_PHASES}
+        return self._timings
+
+    @property
+    def step_timings(self) -> Optional[dict[str, float]]:
+        """The accumulator from :meth:`instrument_steps` (``None`` when off)."""
+        return self._timings
+
+    # ------------------------------------------------------------------
     # T=1: the common per-trial engine surface, by delegation
     # ------------------------------------------------------------------
 
@@ -339,17 +373,24 @@ class BatchCountsEngine:
         states = [self._make_fault_state(spec) for spec in specs]
         self._row_events = [state.events if state else [] for state in states]
         outcomes: list[Optional[RowOutcome]] = [None] * self.trials
+        timings = self._timings
         live = list(range(self.trials))
         position = 0
+        checked = self._perf_counter() if timings is not None else 0.0
         live = self._retire_converged(live, outcomes, predicate, position)
         live = self._retire_silent(live, outcomes, states, max_interactions)
+        if timings is not None:
+            timings["retire"] += self._perf_counter() - checked
         while live and position < max_interactions:
             target = min(position + check_interval, max_interactions)
             self._advance_rows(live, position, target, states)
             position = target
+            checked = self._perf_counter() if timings is not None else 0.0
             live = self._retire_converged(live, outcomes, predicate, position)
             if position < max_interactions:
                 live = self._retire_silent(live, outcomes, states, max_interactions)
+            if timings is not None:
+                timings["retire"] += self._perf_counter() - checked
         for row in live:
             outcomes[row] = RowOutcome(
                 row, False, max_interactions, max_interactions / self.n
@@ -461,13 +502,35 @@ class BatchCountsEngine:
         return counts_are_silent(self.table, self.counts[row])
 
     def _retire_converged(self, live, outcomes, predicate, position):
+        if not live:
+            return []
+        held = self._rows_predicate(predicate, live)
         survivors = []
-        for row in live:
-            if self._row_predicate(predicate, row):
+        for row, holds in zip(live, held):
+            if holds:
                 outcomes[row] = RowOutcome(row, True, position, position / self.n)
             else:
                 survivors.append(row)
         return survivors
+
+    def _rows_predicate(self, predicate, rows) -> list[bool]:
+        """``predicate`` over every row of ``rows`` — one array op when
+        the predicate carries a row-vectorized counts form.
+
+        Predicates built by :func:`~repro.sim.counts_backend
+        .goal_counts_predicate` expose ``on_counts_rows`` (backed by
+        :meth:`~repro.core.protocol.PopulationProtocol.goal_counts_rows`),
+        so the whole live set is answered by one ``(R, S)`` expression
+        instead of a Python loop over ``T`` — the convergence-check half
+        of the batch engines' hot path.  Plain predicates fall back to
+        the per-row check.
+        """
+        on_rows = getattr(predicate, "on_counts_rows", None)
+        if on_rows is not None and self._matrix is not None:
+            np = self._np
+            sub = self._matrix[np.asarray(rows, dtype=np.int64)]
+            return [bool(holds) for holds in np.asarray(on_rows(sub)).reshape(-1)]
+        return [self._row_predicate(predicate, row) for row in rows]
 
     def _silent_rows(self, rows):
         """Per-row :func:`counts_are_silent`, vectorized over ``rows``.
@@ -604,9 +667,12 @@ class BatchCountsEngine:
         size = self.num_states
         counts = self._matrix
         u_flat, v_flat = self.table.flat
+        timings = self._timings
+        perf = self._perf_counter
         idx = np.asarray(rows, dtype=np.int64)
         remaining = np.asarray(amounts, dtype=np.int64)
         while idx.size:
+            start = perf() if timings is not None else 0.0
             lengths = self._runs.next_run_lengths(int(idx.size))
             k = np.minimum(lengths, remaining)
             collide = (remaining > k) & (k == lengths)
@@ -614,10 +680,16 @@ class BatchCountsEngine:
             sub = counts[idx]  # (R, S) snapshot of the pre-run counts
             sample = self._sample_rows(sub, two_k)
             live = int(idx.size)
+            if timings is not None:
+                drawn = perf()
+                timings["draw"] += drawn - start
             if self._matching:
                 # Run applied by pair-type counts: no per-agent arrays.
                 initiators = self._sample_rows(sample, k)
                 matched = self._match_rows(initiators, sample - initiators)
+                if timings is not None:
+                    paired = perf()
+                    timings["match"] += paired - drawn
                 counts[idx] += matched.reshape(live, size * size) @ self._pair_delta
             else:
                 # Pair the drawn states with one segmented shuffle: random
@@ -632,6 +704,9 @@ class BatchCountsEngine:
                 responders = shuffled[1::2]
                 pair_rows = np.repeat(np.arange(live, dtype=np.int64), k)
                 pair_index = initiators * size + responders
+                if timings is not None:
+                    paired = perf()
+                    timings["match"] += paired - drawn
                 outputs = np.concatenate(
                     (u_flat.take(pair_index), v_flat.take(pair_index))
                 )
@@ -643,6 +718,8 @@ class BatchCountsEngine:
             if collide.any():
                 self._collision_rows(idx[collide], sub[collide] - sample[collide])
                 remaining[collide] -= 1
+            if timings is not None:
+                timings["apply"] += perf() - paired
             keep = remaining > 0
             if not keep.all():
                 idx = idx[keep]
@@ -751,7 +828,7 @@ class BatchCountsEngine:
 # ---------------------------------------------------------------------------
 
 
-def run_trial_batch(specs) -> list:
+def run_trial_batch(specs, *, engine_factory=None) -> list:
     """Run a list of :class:`~repro.sim.parallel.TrialSpec` as one batch.
 
     The ``Backend.trial_runner`` implementation behind
@@ -762,6 +839,11 @@ def run_trial_batch(specs) -> list:
     must share the protocol, predicate and budgets — which
     ``run_trials``-built specs do by construction.  Outcomes come back
     in spec order, as the process-pool runner's do.
+
+    ``engine_factory`` (default :class:`BatchCountsEngine`) is how other
+    batch-shaped engines reuse this runner — the jitted leg registers
+    itself with ``engine_factory=JitBatchCountsEngine`` and inherits the
+    whole spec-validation/outcome-mapping contract with no conditionals.
     """
     from repro.sim.parallel import TrialOutcome
 
@@ -783,7 +865,9 @@ def run_trial_batch(specs) -> list:
     rows = tuple(
         spec.init if spec.init is not None else Clean(spec.n) for spec in specs
     )
-    engine = BatchCountsEngine(
+    if engine_factory is None:
+        engine_factory = BatchCountsEngine
+    engine = engine_factory(
         first.protocol,
         init=Replicated(rows, len(rows)),
         seed=first.seed,

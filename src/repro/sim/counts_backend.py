@@ -244,33 +244,45 @@ class CountsAwarePredicate:
     Calling it evaluates the configuration form (so object- and
     array-backend ``run_until`` use it unchanged); the counts backend
     spots the ``on_counts`` attribute and evaluates that instead —
-    ``O(S)`` rather than ``O(n)`` per convergence check.
+    ``O(S)`` rather than ``O(n)`` per convergence check.  The optional
+    ``on_counts_rows`` form answers a whole ``(T, S)`` batch of rows in
+    one call (the batch engines' check path; see
+    :meth:`repro.core.protocol.PopulationProtocol.goal_counts_rows`) —
+    ``None`` means the batch engines fall back to per-row ``on_counts``.
     """
 
-    __slots__ = ("on_config", "on_counts")
+    __slots__ = ("on_config", "on_counts", "on_counts_rows")
 
     def __init__(
         self,
         on_config: ConfigPredicate,
         on_counts: Callable[[Any], bool],
+        on_counts_rows: Optional[Callable[[Any], Any]] = None,
     ):
         self.on_config = on_config
         self.on_counts = on_counts
+        self.on_counts_rows = on_counts_rows
 
     def __call__(self, config: Sequence[Any]) -> bool:
         return self.on_config(config)
 
 
 def counts_aware(
-    on_config: ConfigPredicate, on_counts: Callable[[Any], bool]
+    on_config: ConfigPredicate,
+    on_counts: Callable[[Any], bool],
+    on_counts_rows: Optional[Callable[[Any], Any]] = None,
 ) -> CountsAwarePredicate:
-    """Bundle a config predicate with its counts-space form."""
-    return CountsAwarePredicate(on_config, on_counts)
+    """Bundle a config predicate with its counts-space form(s)."""
+    return CountsAwarePredicate(on_config, on_counts, on_counts_rows)
 
 
 def goal_counts_predicate(protocol: PopulationProtocol) -> CountsAwarePredicate:
     """The protocol's goal predicate, counts-aware on every backend."""
-    return CountsAwarePredicate(protocol.is_goal_configuration, protocol.goal_counts)
+    return CountsAwarePredicate(
+        protocol.is_goal_configuration,
+        protocol.goal_counts,
+        protocol.goal_counts_rows,
+    )
 
 
 # ---------------------------------------------------------------------------

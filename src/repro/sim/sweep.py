@@ -174,7 +174,11 @@ def _build_cai_izumi_wada(n: int, r: int) -> tuple[PopulationProtocol, ConfigPre
     protocol = CaiIzumiWada(BaselineParams(n=n))
     # goal_counts ("no rank held twice") is exactly the silence predicate
     # in counts space, so one counts-aware bundle serves every backend.
-    return protocol, counts_aware(protocol.is_silent_configuration, protocol.goal_counts)
+    return protocol, counts_aware(
+        protocol.is_silent_configuration,
+        protocol.goal_counts,
+        protocol.goal_counts_rows,
+    )
 
 
 def _build_loose(n: int, r: int) -> tuple[PopulationProtocol, ConfigPredicate]:

@@ -80,6 +80,10 @@ class EpidemicProtocol(PopulationProtocol):
         """Counts form (counts backend): no unmarked agents remain."""
         return int(counts[0]) == 0
 
+    def goal_counts_rows(self, counts_rows):
+        """Row-vectorized form (batch engines): one array op over rows."""
+        return counts_rows[:, 0] == 0
+
 
 class OneWayEpidemicProtocol(EpidemicProtocol):
     """One-way epidemic: the initiator infects the responder only."""

@@ -59,6 +59,14 @@ class TestRegistry:
         with pytest.raises(ValueError, match="unknown backend 'gpu'.*object"):
             get_backend("gpu")
 
+    def test_unknown_backend_error_lists_names_sorted(self):
+        # The error message is part of the CLI surface: registered names
+        # come back in deterministic sorted order, not insertion order.
+        with pytest.raises(ValueError) as excinfo:
+            get_backend("gpu")
+        expected = ", ".join(sorted(backend_names()))
+        assert f"(known: {expected})" in str(excinfo.value)
+
     def test_register_rejects_duplicates_and_bad_names(self):
         with pytest.raises(ValueError, match="already registered"):
             register_backend(get_backend("object"))
@@ -103,13 +111,22 @@ class TestRegistry:
         assert get_backend("array").native_form == NATIVE_CODES
 
     def test_batch_entry_hooks(self):
-        # The batch engine is the only one with whole-batch execution
+        # The batch engines are the only ones with whole-batch execution
         # hooks: a trial_runner for run_trials and cell-grouped sweeps.
-        batch = get_backend("batch")
-        assert batch.trial_runner is not None and batch.batch_cells
+        for name in ("batch", "batch-jit"):
+            entry = get_backend(name)
+            assert entry.trial_runner is not None and entry.batch_cells
         for name in ("object", "array", "counts"):
             entry = get_backend(name)
             assert entry.trial_runner is None and not entry.batch_cells
+
+    def test_batch_jit_registered_as_sixth_backend(self):
+        # A dashed name is a legal registry entry, and the jit leg routes
+        # counts-native like the engine it compiles.
+        assert "batch-jit" in backend_names()
+        entry = get_backend("batch-jit")
+        assert entry.native_form == NATIVE_COUNTS
+        assert "numba" in entry.description
 
 
 class TestResolution:

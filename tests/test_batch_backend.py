@@ -304,3 +304,40 @@ class TestTrialRunnerHook:
         )
         assert summary.trials == 16 and summary.converged == 16
         assert all(0 < t <= 50_000 for t in summary.interactions)
+
+
+class TestStepInstrumentation:
+    """The per-step wall-clock breakdown is opt-in and observation-only."""
+
+    def _engine(self, seed: int = 7) -> BatchCountsEngine:
+        protocol = EpidemicProtocol()
+        return BatchCountsEngine(
+            protocol, init=Replicated(seeded_counts(200), 8), seed=seed
+        )
+
+    def test_breakdown_covers_every_phase(self):
+        engine = self._engine()
+        timings = engine.instrument_steps()
+        assert set(timings) == set(BatchCountsEngine.STEP_PHASES)
+        engine.run_rows_until(
+            epidemic_pred(engine.protocol), max_interactions=6_000, check_interval=200
+        )
+        assert sum(timings.values()) > 0.0
+        assert all(seconds >= 0.0 for seconds in timings.values())
+        assert engine.step_timings is timings
+
+    def test_instrumented_run_is_bit_identical(self):
+        # Timing wraps the existing sections; it must never change the
+        # draws.  Same seed, with and without instrumentation, bit-equal.
+        plain = self._engine()
+        timed = self._engine()
+        timed.instrument_steps()
+        pred = epidemic_pred(plain.protocol)
+        plain_outcomes = plain.run_rows_until(
+            pred, max_interactions=6_000, check_interval=200
+        )
+        timed_outcomes = timed.run_rows_until(
+            pred, max_interactions=6_000, check_interval=200
+        )
+        assert (plain.counts == timed.counts).all()
+        assert plain_outcomes == timed_outcomes

@@ -26,7 +26,6 @@ regression gate, run by CI's ``bench-perf`` job:
 
 from __future__ import annotations
 
-import time
 
 from conftest import FAST, run_once, update_perf_summary
 
@@ -37,6 +36,7 @@ from repro.baselines.nonss_leader import PairwiseElimination
 from repro.core.elect_leader import ElectLeader
 from repro.core.params import BaselineParams, ProtocolParams
 from repro.core.propagate_reset import ResetEpidemicProtocol
+from repro.obs import perf_counter
 from repro.scheduler.rng import make_rng
 from repro.scheduler.scheduler import RecordedSchedule
 from repro.sim.array_backend import (
@@ -76,19 +76,19 @@ def test_e18_array_backend_speedup(benchmark, record_table):
     def experiment():
         rows = []
         for name, protocol, start in _workloads(N):
-            t0 = time.perf_counter()
+            t0 = perf_counter()
             transition_table_for(protocol)  # built once, cached; excluded from hot path
-            build_s = time.perf_counter() - t0
+            build_s = perf_counter() - t0
 
             object_sim = Simulation(protocol, config=[s.clone() for s in start], seed=3)
-            t0 = time.perf_counter()
+            t0 = perf_counter()
             object_sim.run_batch(BUDGET)
-            object_s = time.perf_counter() - t0
+            object_s = perf_counter() - t0
 
             array_sim = ArraySimulation(protocol, config=[s.clone() for s in start], seed=3)
-            t0 = time.perf_counter()
+            t0 = perf_counter()
             array_sim.run_batch(BUDGET)
-            array_s = time.perf_counter() - t0
+            array_s = perf_counter() - t0
 
             rows.append(
                 {

@@ -35,10 +35,10 @@ Results merge into ``benchmarks/results/perf-summary.json``.
 from __future__ import annotations
 
 import os
-import time
 
 from conftest import FAST, run_once, update_perf_summary
 
+from repro.obs import perf_counter
 from repro.sim.backends import make_simulation
 from repro.sim.counts_backend import goal_counts_predicate
 from repro.sim.fault_engine import make_fault_engine
@@ -76,13 +76,13 @@ def _measure(protocol, predicate, backend: str, n: int, *, rate=RATE, seed=21,
                           seed=seed, backend=backend)
     engine = make_fault_engine(model, protocol, n=n, rate=rate, burst_size=BURST,
                                seed=seed + 1)
-    start = time.perf_counter()
+    start = perf_counter()
     report = engine.measure_availability(
         sim, predicate,
         total_interactions=total if total is not None else 20 * n,
         checkpoint_every=max(1, n // 4),
     )
-    elapsed = time.perf_counter() - start
+    elapsed = perf_counter() - start
     return report, elapsed, [event.interaction for event in engine.events]
 
 

@@ -35,12 +35,12 @@ mirroring the other vectorized engines' assertions.
 from __future__ import annotations
 
 import statistics
-import time
 
 from conftest import FAST, run_once, update_perf_summary
 
 from repro.core.elect_leader import ElectLeader
 from repro.core.params import ProtocolParams
+from repro.obs import perf_counter, step_breakdown_rows
 from repro.scheduler.rng import RNG, make_rng
 from repro.sim.backends import make_simulation
 from repro.sim.batch_backend import BatchCountsEngine
@@ -84,7 +84,7 @@ def test_e22_batch_backend_speedup(benchmark, record_table):
         rows = []
         summaries = {}
         for name in ("counts", "batch"):
-            t0 = time.perf_counter()
+            t0 = perf_counter()
             summary = run_trials(
                 protocol,
                 predicate,
@@ -98,7 +98,7 @@ def test_e22_batch_backend_speedup(benchmark, record_table):
                 backend=name,
                 label=f"epidemic/{name}",
             )
-            elapsed = time.perf_counter() - t0
+            elapsed = perf_counter() - t0
             summaries[name] = (summary, elapsed)
             rows.append(
                 {
@@ -198,17 +198,9 @@ def test_e22_batch_backend_speedup(benchmark, record_table):
     breakdown_engine.run_rows_until(
         predicate, max_interactions=BUDGET, check_interval=CHECK_INTERVAL
     )
-    step_total = sum(step_timings.values())
     record_table(
         "E22_step_breakdown",
-        [
-            {
-                "phase": phase,
-                "seconds": round(seconds, 4),
-                "share": f"{(seconds / step_total * 100) if step_total else 0.0:.0f}%",
-            }
-            for phase, seconds in step_timings.items()
-        ],
+        step_breakdown_rows(step_timings),
         f"E22: batch per-step breakdown (n={N}, {TRIALS}-trial cell)",
     )
 

@@ -36,11 +36,11 @@ from __future__ import annotations
 
 import math
 import statistics
-import time
 
 import pytest
 from conftest import FAST, run_once, update_perf_summary
 
+from repro.obs import perf_counter, step_breakdown_rows
 from repro.scheduler.rng import RNG, make_rng
 from repro.sim.backends import make_simulation
 from repro.sim.counts_backend import goal_counts_predicate
@@ -104,7 +104,7 @@ def _run_cell(backend: str, *, trials: int, n: int, seed: int = 7):
     """One epidemic grid cell through ``run_trials`` on ``backend``."""
     protocol = EpidemicProtocol()
     predicate = goal_counts_predicate(protocol)
-    start = time.perf_counter()
+    start = perf_counter()
     summary = run_trials(
         protocol,
         predicate,
@@ -118,7 +118,7 @@ def _run_cell(backend: str, *, trials: int, n: int, seed: int = 7):
         backend=backend,
         label=f"epidemic/{backend}",
     )
-    return summary, time.perf_counter() - start
+    return summary, perf_counter() - start
 
 
 def _step_breakdown(backend: str, *, trials: int, n: int) -> dict[str, float]:
@@ -139,15 +139,8 @@ def _step_breakdown(backend: str, *, trials: int, n: int) -> dict[str, float]:
 
 
 def _breakdown_rows(label: str, timings: dict[str, float]) -> list[dict]:
-    total = sum(timings.values())
     return [
-        {
-            "workload": label,
-            "phase": phase,
-            "seconds": round(seconds, 4),
-            "share": f"{(seconds / total * 100) if total else 0.0:.0f}%",
-        }
-        for phase, seconds in timings.items()
+        {"workload": label, **row} for row in step_breakdown_rows(timings)
     ]
 
 
@@ -280,13 +273,13 @@ def test_e24_jit_speedup(benchmark, record_table):
                 seed=11,
                 backend=backend,
             )
-            start = time.perf_counter()
+            start = perf_counter()
             outcomes = engine.run_rows_until(
                 predicate,
                 max_interactions=30 * BIG_N,
                 check_interval=BIG_N,
             )
-            big[backend] = (outcomes, time.perf_counter() - start)
+            big[backend] = (outcomes, perf_counter() - start)
         return cell, big
 
     (cell, big) = run_once(benchmark, experiment)

@@ -35,13 +35,13 @@ loudly on the counts backend, mirroring E18's array-side assertion.
 
 from __future__ import annotations
 
-import time
 
 from conftest import FAST, run_once, update_perf_summary
 
 from repro.baselines.loosely_stabilizing import LooselyStabilizingLeaderElection
 from repro.core.elect_leader import ElectLeader
 from repro.core.params import BaselineParams, ProtocolParams
+from repro.obs import get_tracer, perf_counter
 from repro.sim.array_backend import ArraySimulation, transition_table_for
 from repro.sim.counts_backend import (
     CountsBackendError,
@@ -85,10 +85,10 @@ def test_e20_counts_backend_speedup(benchmark, record_table):
             ("array", lambda: ArraySimulation(protocol, codes=_epidemic_codes(N), seed=3)),
         ):
             sim = build()
-            t0 = time.perf_counter()
+            t0 = perf_counter()
             result = sim.run_until(predicate, max_interactions=BUDGET,
                                    check_interval=CHECK_INTERVAL)
-            elapsed = time.perf_counter() - t0
+            elapsed = perf_counter() - t0
             workload[name] = (result, elapsed)
             rows.append(
                 {
@@ -114,9 +114,9 @@ def test_e20_counts_backend_speedup(benchmark, record_table):
         ):
             sim = factory(protocol_r)
             engine = type(sim).__name__.replace("Simulation", "").lower()
-            t0 = time.perf_counter()
+            t0 = perf_counter()
             sim.run_batch(RAW_BUDGET)
-            elapsed = time.perf_counter() - t0
+            elapsed = perf_counter() - t0
             raw[(label, engine)] = elapsed
             rows.append(
                 {
@@ -178,3 +178,74 @@ def test_e20_counts_backend_speedup(benchmark, record_table):
 
     # E20: the ≥10× workload gate (≥3× in FAST smoke).
     assert speedup >= SPEEDUP_FLOOR, rows
+
+
+#: Disabled-tracing overhead bar: spans around the hot loop with no trace
+#: sink configured must cost <= 2% (plus a small absolute epsilon so the
+#: gate doesn't flake on sub-second runs on loaded shared runners).
+TRACE_OVERHEAD_LIMIT = 0.02
+TRACE_OVERHEAD_EPSILON_S = 0.05
+TRACE_OVERHEAD_BATCHES = 32
+
+
+def test_e20_tracing_disabled_overhead(benchmark, record_table, monkeypatch):
+    """Zero-overhead claim, measured: the E20 raw counts workload wrapped
+    in disabled-tracer spans pays <= 2% over the unwrapped drive (min of
+    3 runs each — the null tracer is one attribute check per span)."""
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    tracer = get_tracer()
+    assert not tracer.enabled
+
+    protocol = EpidemicProtocol()
+    per_batch = max(1, RAW_BUDGET // TRACE_OVERHEAD_BATCHES)
+
+    def drive(spanned: bool) -> float:
+        sim = CountsSimulation(protocol, codes=_epidemic_codes(N), seed=11)
+        t0 = perf_counter()
+        if spanned:
+            for _ in range(TRACE_OVERHEAD_BATCHES):
+                with tracer.span("bench.batch"):
+                    sim.run_batch(per_batch)
+        else:
+            for _ in range(TRACE_OVERHEAD_BATCHES):
+                sim.run_batch(per_batch)
+        return perf_counter() - t0
+
+    def experiment():
+        plain = min(drive(False) for _ in range(3))
+        spanned = min(drive(True) for _ in range(3))
+        return plain, spanned
+
+    plain_s, spanned_s = run_once(benchmark, experiment)
+    overhead = spanned_s / plain_s - 1 if plain_s > 0 else 0.0
+    rows = [
+        {
+            "workload": f"raw-batch/epidemic/counts{suffix}",
+            "n": N,
+            "interactions": TRACE_OVERHEAD_BATCHES * per_batch,
+            "seconds": round(seconds, 3),
+        }
+        for suffix, seconds in (("", plain_s), ("+null-spans", spanned_s))
+    ]
+    record_table(
+        "E20_trace_overhead",
+        rows,
+        f"E20: disabled-tracing overhead (limit {TRACE_OVERHEAD_LIMIT:.0%}, "
+        f"measured {overhead:+.1%})",
+    )
+    update_perf_summary(
+        "E20_trace_overhead",
+        {
+            "experiment": "E20_trace_overhead",
+            "n": N,
+            "fast_mode": FAST,
+            "overhead_limit": TRACE_OVERHEAD_LIMIT,
+            "overhead": round(overhead, 4),
+            "plain_seconds": round(plain_s, 3),
+            "spanned_seconds": round(spanned_s, 3),
+        },
+    )
+    assert spanned_s <= plain_s * (1 + TRACE_OVERHEAD_LIMIT) + TRACE_OVERHEAD_EPSILON_S, (
+        plain_s,
+        spanned_s,
+    )

@@ -16,11 +16,11 @@ CI shard/merge/pool smoke, at experiment scale rather than smoke scale.
 
 from __future__ import annotations
 
-import time
 
 from conftest import fast_scaled, run_once
 
 from repro.fabric import merge_checkpoints, run_pool, shard_grid
+from repro.obs import perf_counter
 from repro.sim.sweep import GridSpec, expand_grid, run_sweep
 
 E23_SHARDS = 4
@@ -44,14 +44,14 @@ def test_e23_fabric_shard_merge_pool_identity(benchmark, record_table, tmp_path)
         trials = len(expand_grid(E23_GRID))
 
         def timed(label, fn):
-            start = time.perf_counter()
+            start = perf_counter()
             fn()
             rows.append(
                 {
                     "mode": label,
                     "trials": trials,
                     "shards": E23_SHARDS if label != "serial" else 1,
-                    "wall_s": round(time.perf_counter() - start, 2),
+                    "wall_s": round(perf_counter() - start, 2),
                 }
             )
 

@@ -18,12 +18,12 @@ engine's two contract points are what this benchmark gates:
 from __future__ import annotations
 
 import os
-import time
 
 from conftest import FAST, run_once
 
 from repro.core.elect_leader import ElectLeader
 from repro.core.params import ProtocolParams
+from repro.obs import perf_counter
 from repro.sim.trials import TrialSummary, run_trials
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
@@ -35,7 +35,7 @@ WORKERS = 4
 
 def _sweep(workers: int) -> tuple[TrialSummary, float]:
     protocol = ElectLeader(ProtocolParams(n=N, r=R))
-    start = time.perf_counter()
+    start = perf_counter()
     summary = run_trials(
         protocol,
         protocol.is_safe_configuration,
@@ -47,7 +47,7 @@ def _sweep(workers: int) -> tuple[TrialSummary, float]:
         label=f"workers={workers}",
         workers=workers,
     )
-    return summary, time.perf_counter() - start
+    return summary, perf_counter() - start
 
 
 def test_e0_parallel_engine(benchmark, record_table):

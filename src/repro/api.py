@@ -27,7 +27,12 @@ The surface groups into four layers:
   :func:`run_sweep` execution with JSONL checkpoints;
 * **distributed fabric** — deterministic :func:`shard_grid` sharding,
   :func:`merge_checkpoints` validation + concatenation, and the
-  lease-based :func:`run_pool` worker pool.
+  lease-based :func:`run_pool` worker pool;
+* **observability** — :func:`configure_tracing` / :func:`get_tracer`
+  span tracing (a no-op unless a sink is configured; never touches an
+  RNG stream), the :func:`get_metrics` registry, the blessed
+  :func:`perf_counter` clock, and the :func:`load_trace` /
+  :func:`summarize_trace` / :func:`to_chrome_trace` trace readers.
 """
 
 from repro.core.elect_leader import ElectLeader
@@ -48,6 +53,17 @@ from repro.fabric.providers import (
     register_provider,
 )
 from repro.fabric.sharding import format_shard, parse_shard, shard_grid
+from repro.obs import (
+    MetricsRegistry,
+    TraceError,
+    configure_tracing,
+    get_metrics,
+    get_tracer,
+    load_trace,
+    perf_counter,
+    summarize_trace,
+    to_chrome_trace,
+)
 from repro.sim.backends import (
     backend_names,
     make_simulation,
@@ -151,4 +167,14 @@ __all__ = [
     "register_provider",
     "run_pool",
     "shard_grid",
+    # observability
+    "MetricsRegistry",
+    "TraceError",
+    "configure_tracing",
+    "get_metrics",
+    "get_tracer",
+    "load_trace",
+    "perf_counter",
+    "summarize_trace",
+    "to_chrome_trace",
 ]

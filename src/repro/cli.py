@@ -17,7 +17,15 @@ The subcommands mirror the library's main entry points:
   via checkpoint growth, and timed-out leases are reclaimed with capped
   retries;
 * ``statespace`` — print the analytic bit-complexity comparison table;
-* ``lint``       — statically check the repository's contracts.
+* ``lint``       — statically check the repository's contracts;
+* ``trace``      — summarize a ``repro.obs`` trace file (top spans, step-
+  phase breakdown, per-shard lease timelines) and export Chrome
+  trace-event JSON for Perfetto.
+
+``sweep`` and ``pool`` accept ``--trace PATH`` (equivalent to setting
+``$REPRO_TRACE``) to stream span/event records to a JSONL sink while
+they run; tracing never touches an RNG stream, so traced and untraced
+runs produce byte-identical checkpoints.
 
 All commands are deterministic given ``--seed`` — including ``tradeoff``
 and ``sweep`` under ``--workers N``: trials fan out over a process pool
@@ -52,6 +60,7 @@ from repro.fabric import (
     provider_names,
     run_pool,
 )
+from repro.obs import TraceError, configure_tracing
 from repro.scheduler.rng import make_rng
 from repro.sim.backends import BACKEND_OBJECT, backend_names, resolve_backend
 from repro.sim.fault_engine import DEFAULT_FAULT_MODEL, fault_model_names
@@ -317,6 +326,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--no-progress", action="store_true", help="suppress the stderr progress line"
     )
+    sweep.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="append span/event records to this JSONL trace file while the "
+        "sweep runs (same as setting $REPRO_TRACE; summarize it with "
+        "'repro trace'); tracing never changes the checkpoint bytes",
+    )
 
     merge = sub.add_parser(
         "merge",
@@ -393,6 +408,12 @@ def build_parser() -> argparse.ArgumentParser:
     pool.add_argument(
         "--no-progress", action="store_true", help="suppress the stderr progress line"
     )
+    pool.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="append span/event records (including the lease lifecycle) to "
+        "this JSONL trace file; worker processes inherit the sink via "
+        "$REPRO_TRACE",
+    )
 
     statespace = sub.add_parser("statespace", help="bit-complexity comparison")
     statespace.add_argument(
@@ -425,6 +446,26 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true",
         help="print the registered rules and exit",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="summarize a repro.obs trace file",
+        description="Read a JSONL trace written via --trace / $REPRO_TRACE "
+        "and print its summary: top spans by total and self time, the "
+        "draw/match/apply/retire step-phase table, and per-shard lease "
+        "timelines from a pool run.  --chrome exports the trace as Chrome "
+        "trace-event JSON loadable in Perfetto (ui.perfetto.dev) or "
+        "chrome://tracing.",
+    )
+    trace.add_argument("trace_file", metavar="TRACE_JSONL", help="trace file to read")
+    trace.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="summary output: human text or a JSON document (default: text)",
+    )
+    trace.add_argument(
+        "--chrome", default=None, metavar="PATH",
+        help="also write the trace as Chrome trace-event JSON to PATH",
     )
 
     return parser
@@ -540,6 +581,8 @@ def _sweep_progress(stream) -> Callable[[int, int], None]:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     grid = _grid_from_args(args)
+    if args.trace is not None:
+        configure_tracing(args.trace)
     progress = None if args.no_progress else _sweep_progress(sys.stderr)
     result = run_sweep(
         grid,
@@ -574,6 +617,10 @@ def cmd_merge(args: argparse.Namespace) -> int:
 
 def cmd_pool(args: argparse.Namespace) -> int:
     grid = _grid_from_args(args)
+    if args.trace is not None:
+        # configure_tracing exports $REPRO_TRACE, so spawned shard workers
+        # inherit the same sink and their spans land in the same file.
+        configure_tracing(args.trace)
     budget = BudgetCaps(max_seconds=args.max_seconds, max_trials=args.max_trials)
     progress = None if args.no_progress else _sweep_progress(sys.stderr)
     result = run_pool(
@@ -629,6 +676,38 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    # Imported here, not at module top, to mirror cmd_lint: the summary
+    # helpers are only needed by this subcommand.
+    import json
+
+    from repro.obs import (
+        load_trace,
+        render_summary_text,
+        summarize_trace,
+        to_chrome_trace,
+    )
+
+    records = load_trace(args.trace_file)
+    summary = summarize_trace(records)
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_summary_text(summary))
+    if args.chrome is not None:
+        chrome_path = Path(args.chrome)
+        chrome_path.write_text(
+            json.dumps(to_chrome_trace(records)) + "\n", encoding="utf-8"
+        )
+        # stderr on purpose: stdout stays machine-parseable under
+        # ``--format json`` even when an export rides along.
+        print(
+            f"[chrome trace written to {chrome_path}; open in ui.perfetto.dev]",
+            file=sys.stderr,
+        )
+    return 0
+
+
 COMMANDS = {
     "run": cmd_run,
     "recover": cmd_recover,
@@ -638,6 +717,7 @@ COMMANDS = {
     "pool": cmd_pool,
     "statespace": cmd_statespace,
     "lint": cmd_lint,
+    "trace": cmd_trace,
 }
 
 
@@ -645,7 +725,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return COMMANDS[args.command](args)
-    except (FabricError, SweepError, _UsageError) as error:
+    except (FabricError, SweepError, TraceError, _UsageError) as error:
         # Parameter combinations argparse can't see (r > n/2, a checkpoint
         # for a different grid, ...) get one clean line, not a traceback;
         # anything else propagates so real bugs keep their tracebacks.

@@ -42,6 +42,14 @@ class MergeReport:
     trials: int
 
 
+def _format_indices(indices: Sequence[int], limit: int = 10) -> str:
+    """``[0, 3, 7]`` rendered for an error message, elided past ``limit``."""
+    shown = ", ".join(str(index) for index in indices[:limit])
+    if len(indices) > limit:
+        shown += f", ... ({len(indices) - limit} more)"
+    return f"[{shown}]"
+
+
 def merge_checkpoints(
     paths: Sequence[Union[str, Path]],
     out: Union[str, Path],
@@ -65,6 +73,7 @@ def merge_checkpoints(
     merged_grid = grid if grid is not None else metas[0][0]
     count = len(shard_paths)
     seen_shards: dict[int, Path] = {}
+    duplicate_shards: dict[int, list[Path]] = {}
     for path, (stored_grid, shard) in zip(shard_paths, metas):
         if stored_grid != merged_grid:
             reference = "the given grid" if grid is not None else str(shard_paths[0])
@@ -85,11 +94,26 @@ def merge_checkpoints(
                 f"needs all {shard_count} shards"
             )
         if index in seen_shards:
-            raise FabricError(
-                f"{path}: shard {index}/{shard_count} appears twice "
-                f"(also {seen_shards[index]}); refusing to double-count"
-            )
-        seen_shards[index] = path
+            duplicate_shards.setdefault(index, [seen_shards[index]]).append(path)
+        else:
+            seen_shards[index] = path
+    if duplicate_shards:
+        listed = _format_indices(sorted(duplicate_shards))
+        detail = "; ".join(
+            f"shard {index} in " + ", ".join(str(p) for p in duplicate_shards[index])
+            for index in sorted(duplicate_shards)
+        )
+        raise FabricError(
+            f"duplicate shard indices {listed}: each appears twice or more "
+            f"({detail}); refusing to double-count"
+        )
+    missing_shards = sorted(set(range(count)) - set(seen_shards))
+    if missing_shards:
+        raise FabricError(
+            f"missing shard indices {_format_indices(missing_shards)}: the "
+            f"given files cover only {_format_indices(sorted(seen_shards))} "
+            f"of 0..{count - 1}; a merge needs every shard exactly once"
+        )
 
     specs = expand_grid(merged_grid)
     by_cell = get_backend(merged_grid.backend).batch_cells
@@ -108,7 +132,8 @@ def merge_checkpoints(
         if missing:
             raise FabricError(
                 f"{path}: shard {shard[0]}/{shard[1]} is incomplete "
-                f"(missing trial {missing[0]}, {len(missing)} in total); "
+                f"(missing trials {_format_indices(missing)}, "
+                f"{len(missing)} in total); "
                 "resume it with repro sweep --resume before merging"
             )
         merged.update(outcomes)

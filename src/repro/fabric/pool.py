@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Any, Optional, Union
 
 from repro.fabric.errors import FabricError
+from repro.obs import get_tracer
 from repro.fabric.merge import merge_checkpoints
 from repro.fabric.providers import (
     BudgetCaps,
@@ -140,6 +141,10 @@ def run_pool(
     pool_provider = (
         provider if isinstance(provider, WorkerProvider) else get_provider(provider)
     )
+    # Lease-lifecycle events stream live into the trace sink (when one is
+    # configured) in addition to the post-mortem ``events`` lists in the
+    # run report.  A disabled tracer makes every call below a no-op.
+    tracer = get_tracer()
 
     specs = expand_grid(grid)
     if budget.max_trials is not None and len(specs) > budget.max_trials:
@@ -210,6 +215,7 @@ def run_pool(
     def fail(message: str) -> None:
         for lease in active.values():
             pool_provider.kill(lease.handle)
+            tracer.event("pool.lease.kill", shard=lease.shard, reason="pool failure")
         active.clear()
         write_report(build_report(ok=False, error=message))
         raise FabricError(message)
@@ -240,6 +246,9 @@ def run_pool(
     def requeue(index: int, reason: str) -> None:
         events[index].append(f"attempt {attempts[index]}: {reason}")
         live_trials[index] = 0
+        tracer.event(
+            "pool.lease.reclaim", shard=index, attempt=attempts[index], reason=reason
+        )
         if attempts[index] > max_retries:
             fail(
                 f"shard {index}/{count} failed {attempts[index]} time"
@@ -247,6 +256,7 @@ def run_pool(
                 f"(retry cap {max_retries}); last failure: {reason}"
             )
         delay = backoff * (2 ** (attempts[index] - 1))
+        tracer.event("pool.lease.backoff", shard=index, delay_seconds=delay)
         pending.append((index, time.monotonic() + delay))
 
     emit_progress()
@@ -274,6 +284,7 @@ def run_pool(
             active[index] = _Lease(
                 shard=index, handle=handle, last_progress=now, last_size=size
             )
+            tracer.event("pool.lease.spawn", shard=index, attempt=attempts[index])
         for index in list(active):
             lease = active[index]
             returncode = pool_provider.poll(lease.handle)
@@ -285,9 +296,16 @@ def run_pool(
                     lease.last_size = size
                     lease.last_progress = time.monotonic()
                     live_trials[index] = _count_trials(path)
+                    tracer.event(
+                        "pool.lease.heartbeat", shard=index, trials=live_trials[index]
+                    )
                     emit_progress()
                 elif time.monotonic() - lease.last_progress > lease_timeout:
+                    tracer.event(
+                        "pool.lease.stall", shard=index, timeout_seconds=lease_timeout
+                    )
                     pool_provider.kill(lease.handle)
+                    tracer.event("pool.lease.kill", shard=index, reason="lease timeout")
                     del active[index]
                     requeue(
                         index,
@@ -301,6 +319,9 @@ def run_pool(
                 if problem is None:
                     live_trials[index] = 0
                     completed.add(index)
+                    tracer.event(
+                        "pool.lease.complete", shard=index, attempt=attempts[index]
+                    )
                     emit_progress()
                 else:
                     requeue(index, f"worker exited 0 but {problem}")

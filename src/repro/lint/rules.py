@@ -1,4 +1,4 @@
-"""The shipped lint rules, L001–L006.
+"""The shipped lint rules, L001–L007.
 
 Each rule encodes one repository invariant the type system cannot see:
 
@@ -22,6 +22,11 @@ Each rule encodes one repository invariant the type system cannot see:
   ``config=``/``codes=``/``counts=`` keyword shim.
 * **L006 counts-dtype** — count-vector arithmetic stays ``int64`` in the
   counts/batch hot paths (no narrowing casts or ``int32`` accumulators).
+* **L007 obs-discipline** — wall-clock reads (``time.time`` /
+  ``time.perf_counter``) happen only inside :mod:`repro.obs`; everything
+  else imports the blessed ``repro.obs.perf_counter``.  And no tracing or
+  metrics calls inside δ / ``transition_table`` bodies — observability
+  must never sit on the semantic hot path.
 
 File-scope checkers are pure AST; project-scope checkers are the
 ``importlib`` half of the hybrid analyzer and consult the live backend /
@@ -636,5 +641,64 @@ L006 = LintRule(
 )
 
 
-for _rule in (L001, L002, L003, L004, L005, L006):
+# ---------------------------------------------------------------------------
+# L007 — obs-discipline
+# ---------------------------------------------------------------------------
+
+#: The one package allowed to read the wall clock directly.
+_OBS_PACKAGE_FRAGMENT = "repro/obs/"
+
+#: Clock reads that must flow through repro.obs.  ``time.monotonic`` and
+#: ``time.sleep`` stay legal — they are control-flow (lease timeouts,
+#: poll intervals), not measurement.
+_CLOCK_CALLS = {"time.time", "time.perf_counter", "time.perf_counter_ns"}
+
+
+def _check_obs_discipline(source: SourceFile) -> Iterable[Finding]:
+    if _OBS_PACKAGE_FRAGMENT in source.relpath:
+        return
+    imports = _ImportMap(source.tree)
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        canonical = imports.canonical(_dotted(node.func))
+        if canonical in _CLOCK_CALLS:
+            yield L007.finding(
+                source.relpath, node.lineno,
+                f"direct clock read '{canonical}' outside repro.obs — "
+                "timing flows through the blessed repro.obs.perf_counter",
+            )
+    # Transition semantics never observe themselves: a span or metric in
+    # a δ body would put I/O-shaped work on every simulated interaction.
+    for func in _walk_functions(source.tree):
+        if func.name not in ("transition", "transition_table"):
+            continue
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = imports.canonical(_dotted(node.func)) or ""
+            if canonical == "repro.obs" or canonical.startswith("repro.obs."):
+                yield L007.finding(
+                    source.relpath, node.lineno,
+                    f"{func.name} calls '{canonical}' — no tracing or "
+                    "metrics inside transition semantics",
+                )
+
+
+L007 = LintRule(
+    rule_id="L007",
+    name="obs-discipline",
+    summary=(
+        "wall-clock reads (time.time / time.perf_counter) only inside "
+        "repro.obs; no tracing or metrics calls in transition semantics"
+    ),
+    hint=(
+        "import the blessed clock ('from repro.obs import perf_counter') "
+        "and keep spans/metrics out of transition / transition_table bodies"
+    ),
+    check_file=_check_obs_discipline,
+)
+
+
+for _rule in (L001, L002, L003, L004, L005, L006, L007):
     register_rule(_rule)

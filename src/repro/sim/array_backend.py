@@ -58,6 +58,7 @@ from typing import Any, Iterable, Optional, Sequence
 from weakref import WeakKeyDictionary
 
 from repro.core.protocol import PopulationProtocol
+from repro.obs import STEP_PHASES, perf_counter
 from repro.scheduler.rng import derive_seed
 from repro.scheduler.scheduler import ArrayScheduler
 from repro.sim.metrics import Metrics
@@ -456,6 +457,7 @@ class ArraySimulation:
             raise ValueError(f"block size must be positive, got {block_size}")
         self.block_size = block_size
         self._workspace = Workspace(self.n, block_size)
+        self._timings: Optional[dict[str, float]] = None
 
     # ------------------------------------------------------------------
 
@@ -473,6 +475,24 @@ class ArraySimulation:
         if count < 0:
             raise ValueError(f"interaction count must be non-negative, got {count}")
         remaining = count
+        timings = self._timings
+        if timings is not None:
+            # Instrumented twin: same calls, same stream order, clock
+            # reads around the two sections (draw = pair blocks, apply =
+            # conflict-safe application).
+            while remaining > 0:
+                block = min(remaining, self.block_size)
+                start = perf_counter()
+                initiators, responders = self.scheduler.next_pairs(block)
+                drawn = perf_counter()
+                timings["draw"] += drawn - start
+                apply_pair_block(
+                    self.codes, initiators, responders, self.table, self._workspace
+                )
+                timings["apply"] += perf_counter() - drawn
+                remaining -= block
+            self.metrics.interactions += count
+            return
         while remaining > 0:
             block = min(remaining, self.block_size)
             initiators, responders = self.scheduler.next_pairs(block)
@@ -517,11 +537,35 @@ class ArraySimulation:
         objects and walking them in Python.  Plain config predicates fall
         back to the decoded configuration, unchanged.
         """
+        timings = self._timings
+        start = perf_counter() if timings is not None else 0.0
         on_counts = getattr(predicate, "on_counts", None)
         if on_counts is not None:
             np = require_numpy()
-            return bool(on_counts(np.bincount(self.codes, minlength=self.table.num_states)))
-        return bool(predicate(self.config))
+            held = bool(on_counts(np.bincount(self.codes, minlength=self.table.num_states)))
+        else:
+            held = bool(predicate(self.config))
+        if timings is not None:
+            timings["retire"] += perf_counter() - start
+        return held
+
+    def instrument_steps(self) -> dict[str, float]:
+        """Switch on per-phase wall-clock accounting (common engine surface).
+
+        Returns the live accumulator over :data:`repro.obs.STEP_PHASES`:
+        ``draw`` (vectorized pair blocks), ``apply`` (conflict-safe block
+        application), ``retire`` (predicate checks); ``match`` stays zero
+        — pairing happens inside the scheduler draw here.  Only the
+        monotonic clock is read; draws and results are unchanged.
+        """
+        if self._timings is None:
+            self._timings = {phase: 0.0 for phase in STEP_PHASES}
+        return self._timings
+
+    @property
+    def step_timings(self) -> Optional[dict[str, float]]:
+        """The accumulator from :meth:`instrument_steps` (``None`` when off)."""
+        return self._timings
 
     def apply_fault(self, model, burst_size: int, generator) -> None:
         """Inject one fault burst (common engine surface).

@@ -45,8 +45,8 @@ engine class, and ``batch_cells=True``; zero name conditionals anywhere.
 * ``name`` — the string users pass as ``backend=`` / ``--backend``;
 * ``factory(protocol, *, init, n, seed)`` — builds a simulation exposing
   the common engine surface (``run`` / ``run_batch`` / ``run_until`` /
-  ``predicate_holds`` / ``apply_fault`` / ``metrics`` / ``config`` /
-  ``n``).  ``init`` is an :class:`~repro.sim.initial_state.InitialState`
+  ``predicate_holds`` / ``apply_fault`` / ``instrument_steps`` /
+  ``metrics`` / ``config`` / ``n``).  ``init`` is an :class:`~repro.sim.initial_state.InitialState`
   (or ``None`` for a clean ``n``-agent start); the factory asks it for
   the engine's native representation (``to_config`` / ``to_codes`` /
   ``to_counts``), so one value describes the start on every backend and
@@ -128,6 +128,7 @@ ENGINE_SURFACE: tuple[str, ...] = (
     "run_until",
     "predicate_holds",
     "apply_fault",
+    "instrument_steps",
     "metrics",
     "config",
     "n",

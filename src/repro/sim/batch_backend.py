@@ -59,10 +59,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from time import perf_counter
 from typing import Any, Optional, Sequence
 
 from repro.core.protocol import PopulationProtocol
+from repro.obs import STEP_PHASES as _STEP_PHASES
+from repro.obs import perf_counter
 from repro.scheduler.rng import np_stream
 from repro.scheduler.scheduler import CollisionRunSampler
 from repro.sim.array_backend import require_numpy, transition_table_for
@@ -269,11 +270,13 @@ class BatchCountsEngine:
     # Per-step wall-clock instrumentation (benchmark breakdowns)
     # ------------------------------------------------------------------
 
-    #: Indirection point so subclasses and tests share one clock.
+    #: Indirection point so subclasses and tests share one clock (the
+    #: blessed :data:`repro.obs.perf_counter`).
     _perf_counter = staticmethod(perf_counter)
 
-    #: The accounted phases, in hot-loop order.
-    STEP_PHASES: tuple[str, ...] = ("draw", "match", "apply", "retire")
+    #: The accounted phases, in hot-loop order (the canonical tuple lives
+    #: in :data:`repro.obs.STEP_PHASES`; re-exported here for engines).
+    STEP_PHASES: tuple[str, ...] = _STEP_PHASES
 
     def instrument_steps(self) -> dict[str, float]:
         """Switch on per-phase wall-clock accounting for this engine.
@@ -288,6 +291,11 @@ class BatchCountsEngine:
         per-row streams.  Call before driving; the benchmarks (E22/E24)
         use this to print attributable breakdowns next to the gate.
         """
+        if self._single is not None:
+            # T=1 delegates the whole drive to its CountsSimulation, so
+            # the live accumulator must be that engine's.
+            self._timings = self._single.instrument_steps()
+            return self._timings
         if self._timings is None:
             self._timings = {phase: 0.0 for phase in self.STEP_PHASES}
         return self._timings

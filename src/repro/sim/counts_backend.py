@@ -70,6 +70,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional, Sequence
 
 from repro.core.protocol import PopulationProtocol
+from repro.obs import STEP_PHASES, perf_counter
 from repro.scheduler.rng import derive_seed
 from repro.scheduler.scheduler import CollisionRunSampler
 from repro.sim.array_backend import (
@@ -361,6 +362,7 @@ class CountsSimulation:
         self._runs = CollisionRunSampler(self.n, self._generator)
         self._codes = np.arange(size, dtype=np.int64)
         self.metrics = Metrics(n=self.n)
+        self._timings: Optional[dict[str, float]] = None
 
     # ------------------------------------------------------------------
 
@@ -388,10 +390,20 @@ class CountsSimulation:
         """
         if count < 0:
             raise ValueError(f"interaction count must be non-negative, got {count}")
+        timings = self._timings
         if self.batching == BATCHING_PAIR:
             self._run_pairwise(count)
-        elif count and not self.configuration_is_silent():
-            self._run_batched(count)
+        elif count and timings is None:
+            if not self.configuration_is_silent():
+                self._run_batched(count)
+        elif count:
+            # Instrumented twin path: same calls in the same order, with
+            # the silence check accounted as 'retire'.
+            start = perf_counter()
+            silent = self.configuration_is_silent()
+            timings["retire"] += perf_counter() - start
+            if not silent:
+                self._run_batched_timed(count, timings)
         self.metrics.interactions += count
 
     def run_until(
@@ -429,10 +441,37 @@ class CountsSimulation:
         plain config predicates get an expanded configuration per call —
         correct, but ``O(n)``.
         """
+        timings = self._timings
+        start = perf_counter() if timings is not None else 0.0
         on_counts = getattr(predicate, "on_counts", None)
         if on_counts is not None:
-            return bool(on_counts(self.counts))
-        return bool(predicate(configuration_from_counts(self.protocol, self.counts)))
+            held = bool(on_counts(self.counts))
+        else:
+            held = bool(predicate(configuration_from_counts(self.protocol, self.counts)))
+        if timings is not None:
+            timings["retire"] += perf_counter() - start
+        return held
+
+    def instrument_steps(self) -> dict[str, float]:
+        """Switch on per-phase wall-clock accounting (common engine surface).
+
+        Returns the live accumulator over :data:`repro.obs.STEP_PHASES`:
+        ``draw`` (run lengths + hypergeometric composition), ``match``
+        (repeat + shuffle pairing), ``apply`` (aggregate delta +
+        collision interaction), ``retire`` (silence + predicate checks).
+        The instrumented sampler (:meth:`_run_batched_timed`) issues the
+        identical generator calls in the identical order — only the
+        monotonic clock is read between sections, so traced and untraced
+        runs stay bit-identical.
+        """
+        if self._timings is None:
+            self._timings = {phase: 0.0 for phase in STEP_PHASES}
+        return self._timings
+
+    @property
+    def step_timings(self) -> Optional[dict[str, float]]:
+        """The accumulator from :meth:`instrument_steps` (``None`` when off)."""
+        return self._timings
 
     def apply_fault(self, model, burst_size: int, generator) -> None:
         """Inject one fault burst (common engine surface).
@@ -507,6 +546,56 @@ class CountsSimulation:
             if collide:
                 self._collision_interaction(avail)
                 remaining -= 1
+
+    def _run_batched_timed(self, count: int, timings: dict) -> None:
+        """Instrumented twin of :meth:`_run_batched`.
+
+        Byte-for-byte the same generator calls in the same order — the
+        only additions are :func:`repro.obs.perf_counter` reads between
+        the draw / match / apply sections, so an instrumented run's
+        trajectory is bit-identical to an uninstrumented one.  Kept as a
+        twin so the uninstrumented hot loop pays nothing.
+        """
+        np = require_numpy()
+        counts = self.counts
+        codes = self._codes
+        size = self.num_states
+        u_flat, v_flat = self.table.flat
+        bincount = np.bincount
+        concatenate = np.concatenate
+        draw_sample = self._generator.multivariate_hypergeometric
+        shuffle = self._generator.shuffle
+        next_run_length = self._runs.next_run_length
+        remaining = count
+        while remaining > 0:
+            start = perf_counter()
+            length = next_run_length()
+            k = min(length, remaining)
+            collide = remaining > k and k == length
+            if k:
+                sample = draw_sample(counts, 2 * k)
+                drawn_at = perf_counter()
+                timings["draw"] += drawn_at - start
+                drawn = codes.repeat(sample)
+                shuffle(drawn)
+                if collide:
+                    avail = counts - sample
+                matched_at = perf_counter()
+                timings["match"] += matched_at - drawn_at
+                index = drawn[0::2] * size
+                index += drawn[1::2]
+                outputs = concatenate((u_flat.take(index), v_flat.take(index)))
+                counts += bincount(outputs, minlength=size)
+                counts -= bincount(drawn, minlength=size)
+                remaining -= k
+                timings["apply"] += perf_counter() - matched_at
+            else:
+                timings["draw"] += perf_counter() - start
+            if collide:
+                collided_at = perf_counter()
+                self._collision_interaction(avail)
+                remaining -= 1
+                timings["apply"] += perf_counter() - collided_at
 
     def _collision_interaction(self, avail) -> None:
         """One interaction conditioned on touching an already-used agent.

@@ -39,9 +39,11 @@ import pickle
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, TypeVar
 
 from repro.core.protocol import PopulationProtocol
+from repro.obs import SpanBuffer, get_tracer
 from repro.sim.backends import DEFAULT_BACKEND
 from repro.sim.initial_state import InitialState, reject_positional, require_init
 from repro.sim.simulation import ConfigPredicate, run_until
@@ -174,12 +176,29 @@ _UNPICKLABLE_WARNING = (
 )
 
 
+def _run_span_buffered(fn: Callable[[_Item], _Result], span_name: str, item: _Item):
+    """Run ``fn(item)`` under a :class:`SpanBuffer` span and ship both back.
+
+    Module-level (so ``partial(_run_span_buffered, fn, name)`` pickles
+    wherever ``fn`` does): the worker collects its span records in memory
+    — it never opens the sink — and the parent writes them at the reorder
+    buffer's in-order yield, labeled with the item index there.  The
+    tracer only reads the monotonic clock, so a traced worker's RNG
+    streams and results are untouched.
+    """
+    buffer = SpanBuffer()
+    with buffer.span(span_name, worker=os.getpid()):
+        result = fn(item)
+    return result, buffer.records
+
+
 def stream_ordered(
     items: Iterable[_Item],
     fn: Callable[[_Item], _Result],
     *misused: Any,
     workers: Optional[int] = 1,
     window: Optional[int] = None,
+    span: Optional[str] = None,
 ) -> Iterator[_Result]:
     """Apply ``fn`` to ``items`` on a process pool, yielding results in item order.
 
@@ -204,12 +223,20 @@ def stream_ordered(
     submission time (with a one-time warning) instead of failing the
     sweep — its result still streams out at its index, but while it runs
     the parent cannot yield earlier completions.
+
+    ``span`` names a per-item tracing span (see :mod:`repro.obs`): when
+    tracing is enabled each item's ``fn`` call runs under a span carrying
+    a ``worker`` (pid) label, buffered in the worker and written by the
+    parent at the in-order yield with the item index added — so the
+    trace's span order is deterministic for any worker count, exactly
+    like the result stream.  With tracing disabled (the default) ``span``
+    costs one attribute check and changes nothing.
     """
-    reject_positional("stream_ordered", misused, ("workers", "window"))
+    reject_positional("stream_ordered", misused, ("workers", "window", "span"))
     worker_count = resolve_workers(workers)
     if window is not None and window < 1:
         raise ValueError(f"window must be positive, got {window}")
-    return _stream_ordered(items, fn, worker_count, window)
+    return _stream_ordered(items, fn, worker_count, window, span)
 
 
 def _stream_ordered(
@@ -217,13 +244,28 @@ def _stream_ordered(
     fn: Callable[[_Item], _Result],
     worker_count: int,
     window: Optional[int],
+    span: Optional[str] = None,
 ) -> Iterator[_Result]:
+    tracer = get_tracer()
+    traced = span is not None and tracer.enabled
     if worker_count <= 1:
+        if traced:
+            for index, item in enumerate(items):
+                with tracer.span(span, item=index, worker=os.getpid()):
+                    result = fn(item)
+                yield result
+            return
         for item in items:
             yield fn(item)
         return
     if window is None:
         window = worker_count * 4
+    # With tracing on, the worker call is wrapped so each item's span
+    # records ride back with its result; the parent unwraps at the
+    # in-order yield below.
+    call: Callable[[_Item], Any] = (
+        partial(_run_span_buffered, fn, span) if traced else fn
+    )
 
     iterator = enumerate(items)
     pending: dict[Any, int] = {}  # future -> item index
@@ -252,11 +294,21 @@ def _stream_ordered(
                     if not warned:
                         warnings.warn(_UNPICKLABLE_WARNING, RuntimeWarning, stacklevel=2)
                         warned = True
-                    buffered[index] = fn(item)
+                    buffered[index] = call(item)
                 else:
-                    pending[pool.submit(fn, item)] = index
+                    pending[pool.submit(call, item)] = index
             while next_yield in buffered:
-                yield buffered.pop(next_yield)
+                value = buffered.pop(next_yield)
+                if traced:
+                    value, records = value
+                    for record in records:
+                        # SpanBuffer records carry raw monotonic stamps
+                        # (epoch 0); rebase onto this tracer's origin and
+                        # label with the deterministic item index.
+                        record["ts"] = record.get("ts", 0.0) - tracer.epoch
+                        record.setdefault("labels", {})["item"] = next_yield
+                        tracer.write_record(record)
+                yield value
                 next_yield += 1
             if exhausted and not pending:
                 return
@@ -283,7 +335,8 @@ def run_trial_specs_streaming(
     completed, so long sweeps can checkpoint incrementally.  The yielded
     sequence is identical to the blocking runner for any worker count.
     ``workers`` and ``window`` are keyword-only, as everywhere on this
-    surface.
+    surface.  Each trial runs under a ``"trial"`` span when tracing is
+    enabled (worker pid + trial index labels, merged in spec order).
     """
     reject_positional("run_trial_specs_streaming", misused, ("workers", "window"))
-    return stream_ordered(specs, run_trial, workers=workers, window=window)
+    return stream_ordered(specs, run_trial, workers=workers, window=window, span="trial")

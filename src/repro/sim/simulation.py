@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 
 from repro.core.protocol import PopulationProtocol
+from repro.obs import STEP_PHASES, perf_counter
 from repro.scheduler.rng import RNG, derive_seed, make_rng
 from repro.scheduler.scheduler import RandomScheduler
 
@@ -89,6 +90,7 @@ class Simulation:
         self.scheduler = RandomScheduler(self.n, self._scheduler_rng)
         self.metrics = Metrics(n=self.n)
         self.observers: list[Observer] = []
+        self._timings: Optional[dict[str, float]] = None
 
     # ------------------------------------------------------------------
 
@@ -127,6 +129,22 @@ class Simulation:
         config = self.config
         transition = self.protocol.transition
         rng = self.transition_rng
+        timings = self._timings
+        if timings is not None:
+            # Instrumented twin of the fast path: the pair draws are
+            # materialized first so draw and apply time separate cleanly.
+            # The scheduler and transition streams are independent, so
+            # batching the draws consumes both streams in the same order
+            # — instrumented runs stay bit-identical (tests pin this).
+            start = perf_counter()
+            pairs = list(self.scheduler.pairs(count))
+            drawn = perf_counter()
+            timings["draw"] += drawn - start
+            for i, j in pairs:
+                transition(config[i], config[j], rng)
+            timings["apply"] += perf_counter() - drawn
+            self.metrics.interactions += count
+            return
         for i, j in self.scheduler.pairs(count):
             transition(config[i], config[j], rng)
         self.metrics.interactions += count
@@ -163,7 +181,32 @@ class Simulation:
         each backend evaluates predicates in its cheapest native form —
         here, simply on the configuration list.
         """
-        return bool(predicate(self.config))
+        timings = self._timings
+        if timings is None:
+            return bool(predicate(self.config))
+        start = perf_counter()
+        held = bool(predicate(self.config))
+        timings["retire"] += perf_counter() - start
+        return held
+
+    def instrument_steps(self) -> dict[str, float]:
+        """Switch on per-phase wall-clock accounting (common engine surface).
+
+        Returns the live accumulator mapping :data:`repro.obs.STEP_PHASES`
+        to seconds: ``draw`` (scheduler pair generation), ``apply``
+        (transition dispatch), ``retire`` (predicate checks); ``match``
+        stays zero — the object engine has no separate pairing phase.
+        Instrumentation only reads the monotonic clock; the RNG streams
+        are consumed identically, so results never change.
+        """
+        if self._timings is None:
+            self._timings = {phase: 0.0 for phase in STEP_PHASES}
+        return self._timings
+
+    @property
+    def step_timings(self) -> Optional[dict[str, float]]:
+        """The accumulator from :meth:`instrument_steps` (``None`` when off)."""
+        return self._timings
 
     def apply_fault(self, model, burst_size: int, generator) -> None:
         """Inject one fault burst (common engine surface).

@@ -88,6 +88,7 @@ from repro.sim.initial_state import (
     Replicated,
     SampledStart,
 )
+from repro.obs import get_tracer, perf_counter
 from repro.sim.parallel import stream_ordered
 from repro.sim.simulation import ConfigPredicate
 from repro.sim.trials import TrialSummary
@@ -651,6 +652,19 @@ def _availability_outcome(spec: ScenarioSpec, report) -> ScenarioOutcome:
     )
 
 
+def _emit_step_spans(tracer, timings, started: float, **labels: Any) -> None:
+    """Record an engine's accumulated step-phase seconds as ``step.*`` spans.
+
+    The phases of one drive are emitted as sibling spans sharing the
+    drive's start timestamp — their durations (the phase table in
+    ``repro trace``) are exact accumulations; only their placement on the
+    timeline is collapsed.
+    """
+    for phase, seconds in timings.items():
+        if seconds > 0.0:
+            tracer.record_span(f"step.{phase}", started, seconds, **labels)
+
+
 def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
     """Materialize and run one scenario trial (in whichever process it landed).
 
@@ -674,6 +688,13 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
         n=None if init is not None else spec.n,
         seed=spec.seed, backend=spec.backend,
     )
+    # With a trace sink configured, collect the engine's step-phase
+    # breakdown for this trial.  The instrumented drive is a twin of the
+    # plain one issuing identical RNG calls in identical order, so the
+    # outcome stays bit-identical (a tier-1 test holds that equality).
+    tracer = get_tracer()
+    timings = sim.instrument_steps() if tracer.enabled else None
+    started = perf_counter() if tracer.enabled else 0.0
     if spec.fault_rate > 0:
         engine = FaultEngine(
             get_fault_model(spec.fault_model),
@@ -688,14 +709,18 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
             total_interactions=spec.max_interactions,
             checkpoint_every=spec.check_interval,
         )
-        return _availability_outcome(spec, report)
-    result = sim.run_until(predicate, spec.max_interactions, spec.check_interval)
-    return _outcome(
-        spec,
-        converged=result.converged,
-        interactions=result.interactions,
-        parallel_time=result.parallel_time,
-    )
+        outcome = _availability_outcome(spec, report)
+    else:
+        result = sim.run_until(predicate, spec.max_interactions, spec.check_interval)
+        outcome = _outcome(
+            spec,
+            converged=result.converged,
+            interactions=result.interactions,
+            parallel_time=result.parallel_time,
+        )
+    if timings is not None:
+        _emit_step_spans(tracer, timings, started, item=spec.index)
+    return outcome
 
 
 def run_scenario_cell(specs: Sequence[ScenarioSpec]) -> list[ScenarioOutcome]:
@@ -727,6 +752,9 @@ def run_scenario_cell(specs: Sequence[ScenarioSpec]) -> list[ScenarioOutcome]:
         seed=first.seed,
         backend=first.backend,
     )
+    tracer = get_tracer()
+    timings = engine.instrument_steps() if tracer.enabled else None
+    started = perf_counter() if tracer.enabled else 0.0
     if first.fault_rate > 0:
         reports = engine.measure_rows_availability(
             predicate,
@@ -734,24 +762,31 @@ def run_scenario_cell(specs: Sequence[ScenarioSpec]) -> list[ScenarioOutcome]:
             checkpoint_every=first.check_interval,
             faults=faults,
         )
-        return [
+        outcomes = [
             _availability_outcome(spec, report)
             for spec, report in zip(specs, reports)
         ]
-    row_outcomes = engine.run_rows_until(
-        predicate,
-        max_interactions=first.max_interactions,
-        check_interval=first.check_interval,
-    )
-    return [
-        _outcome(
-            spec,
-            converged=row.converged,
-            interactions=row.interactions,
-            parallel_time=row.parallel_time,
+    else:
+        row_outcomes = engine.run_rows_until(
+            predicate,
+            max_interactions=first.max_interactions,
+            check_interval=first.check_interval,
         )
-        for spec, row in zip(specs, row_outcomes)
-    ]
+        outcomes = [
+            _outcome(
+                spec,
+                converged=row.converged,
+                interactions=row.interactions,
+                parallel_time=row.parallel_time,
+            )
+            for spec, row in zip(specs, row_outcomes)
+        ]
+    if timings is not None:
+        _emit_step_spans(
+            tracer, timings, started,
+            cell="/".join(str(part) for part in first.scenario_key),
+        )
+    return outcomes
 
 
 # ---------------------------------------------------------------------------
@@ -1221,6 +1256,21 @@ def run_sweep(
     if progress:
         progress(done, total)
     handle = None
+    # Tracing (see repro.obs): per-trial spans ride the reorder buffer
+    # (span="sweep.trial"), checkpoint appends get their own spans, and
+    # each cell's wall-clock window is reconstructed as it completes.
+    # The trace sink is a separate file — never the checkpoint, whose
+    # bytes stay a pure function of (grid, code) with or without tracing.
+    tracer = get_tracer()
+    if tracer.enabled:
+        cell_of = {spec.index: spec.scenario_key for spec in work_specs}
+        cell_pending: dict[Any, int] = {}
+        for spec in work_specs:
+            if spec.index not in completed:
+                cell_pending[spec.scenario_key] = (
+                    cell_pending.get(spec.scenario_key, 0) + 1
+                )
+        cell_started: dict[Any, float] = {}
     try:
         if path is not None:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -1231,12 +1281,27 @@ def run_sweep(
         if batch_cells:
             outcome_stream = _run_missing_cells(work_specs, completed)
         else:
-            outcome_stream = stream_ordered(to_run, run_scenario, workers=workers)
+            outcome_stream = stream_ordered(
+                to_run, run_scenario, workers=workers, span="sweep.trial"
+            )
         for outcome in outcome_stream:
             outcomes[outcome.index] = outcome
             if handle is not None:
-                handle.write(_dump_line(outcome.to_record()))
-                handle.flush()
+                with tracer.span("sweep.checkpoint_append", item=outcome.index):
+                    handle.write(_dump_line(outcome.to_record()))
+                    handle.flush()
+            if tracer.enabled:
+                key = cell_of.get(outcome.index)
+                now = perf_counter()
+                cell_started.setdefault(key, now)
+                cell_pending[key] -= 1
+                if cell_pending[key] == 0:
+                    tracer.record_span(
+                        "sweep.cell",
+                        cell_started[key],
+                        now - cell_started[key],
+                        cell="/".join(str(part) for part in key),
+                    )
             done += 1
             if progress:
                 progress(done, total)

@@ -1,0 +1,17 @@
+"""Lint fixture: clock reads outside repro.obs, tracing inside δ (L007)."""
+
+import time
+from time import perf_counter
+
+from repro.obs import get_tracer
+
+
+def measure() -> float:
+    start = time.perf_counter()
+    time.time()
+    return perf_counter() - start
+
+
+def transition(state_a, state_b):
+    with get_tracer().span("delta"):
+        return state_b, state_a

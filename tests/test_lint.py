@@ -2,7 +2,7 @@
 
 Three contracts, in order of importance:
 
-* **every rule fires** — each rule L001-L006 flags its fixture in
+* **every rule fires** — each rule L001-L007 flags its fixture in
   ``tests/lint_fixtures/`` (and a fixture flags *only* its own rule, so
   the fixtures double as precision probes);
 * **the shipped tree is clean** — ``repro lint`` over the real
@@ -45,6 +45,7 @@ FIXTURE_BY_RULE = {
     "L004": "transition_violation.py",
     "L005": "deprecated_kwargs_violation.py",
     "L006": "counts_violation.py",
+    "L007": "obs_violation.py",
 }
 
 

@@ -1,0 +1,404 @@
+"""Tests for ``repro.obs`` — tracing, metrics, and the ``repro trace`` CLI.
+
+The load-bearing contract is the zero-overhead / zero-perturbation law:
+
+* with no sink configured, :func:`get_tracer` returns one shared no-op
+  object, so instrumented call sites pay a single attribute check;
+* with a sink configured, tracing never touches an RNG stream — traced
+  and untraced runs produce **byte-identical** sweep checkpoints on
+  every registered backend, and an ``instrument_steps``-instrumented
+  drive reaches the exact outcome of the plain one.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.elect_leader import ElectLeader
+from repro.core.params import ProtocolParams
+from repro.fabric import run_pool
+from repro.obs import (
+    NULL_TRACER,
+    STEP_PHASES,
+    TRACE_ENV,
+    MetricsRegistry,
+    SpanBuffer,
+    TraceError,
+    Tracer,
+    configure_tracing,
+    get_tracer,
+    load_trace,
+    step_breakdown_rows,
+    summarize_trace,
+    to_chrome_trace,
+)
+from repro.sim.backends import backend_names, make_simulation
+from repro.sim.initial_state import CountVector
+from repro.sim.sweep import CLEAN, GridSpec, run_sweep
+from repro.substrates.epidemics import EpidemicProtocol
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off(monkeypatch):
+    """Every test starts and ends with tracing disabled (the env var is
+    process-global and the tracer is memoized on it)."""
+    monkeypatch.delenv(TRACE_ENV, raising=False)
+    yield
+    configure_tracing(None)
+
+
+def vector_grid(backend: str, **overrides) -> GridSpec:
+    """A tiny grid a vectorized backend can run."""
+    values = dict(
+        protocols=("cai_izumi_wada",),
+        ns=(16, 24),
+        rs=(2,),
+        adversaries=(CLEAN,),
+        fault_rates=(0.0,),
+        trials=3,
+        seed=7,
+        max_interactions=200_000,
+        check_interval=100,
+        backend=backend,
+    )
+    values.update(overrides)
+    return GridSpec(**values)
+
+
+def grid_for(backend: str) -> GridSpec:
+    if backend == "object":
+        return vector_grid(backend, protocols=("elect_leader",), ns=(8, 10))
+    return vector_grid(backend)
+
+
+class TestNullTracer:
+    def test_disabled_tracer_is_the_shared_noop(self):
+        tracer = get_tracer()
+        assert tracer is NULL_TRACER
+        assert tracer.enabled is False
+
+    def test_null_span_is_one_preallocated_object(self):
+        tracer = get_tracer()
+        first = tracer.span("a", item=1)
+        second = tracer.span("b")
+        assert first is second  # no allocation per span when disabled
+        with first as span:
+            span.event("ignored")
+            span.annotate(key="ignored")
+        tracer.event("ignored")
+        tracer.record_span("ignored", 0.0, 1.0)
+
+    def test_memoized_on_env_value(self, monkeypatch, tmp_path):
+        sink = tmp_path / "t.jsonl"
+        monkeypatch.setenv(TRACE_ENV, str(sink))
+        tracer = get_tracer()
+        assert tracer.enabled and tracer is get_tracer()
+        monkeypatch.delenv(TRACE_ENV)
+        assert get_tracer() is NULL_TRACER
+
+
+class TestTracer:
+    def test_nested_spans_parent_links_and_order(self, tmp_path):
+        sink = tmp_path / "t.jsonl"
+        tracer = Tracer(str(sink))
+        with tracer.span("outer", item=1) as outer:
+            with tracer.span("inner"):
+                pass
+            outer.event("tick", k=2)
+        tracer.close()
+        records = load_trace(sink)
+        # completion order: inner span, then the event line, then outer
+        inner, event, outer_rec = records
+        assert [r["name"] for r in records] == ["inner", "tick", "outer"]
+        assert outer_rec["parent"] is None
+        assert inner["parent"] == outer_rec["id"]
+        assert event["kind"] == "event" and event["parent"] == outer_rec["id"]
+        assert outer_rec["labels"] == {"item": 1}
+        assert outer_rec["dur"] >= inner["dur"] >= 0.0
+
+    def test_annotate_merges_labels(self, tmp_path):
+        tracer = Tracer(str(tmp_path / "t.jsonl"))
+        with tracer.span("s", a=1) as span:
+            span.annotate(b=2)
+        tracer.close()
+        (record,) = load_trace(tmp_path / "t.jsonl")
+        assert record["labels"] == {"a": 1, "b": 2}
+
+    def test_record_span_uses_explicit_endpoints(self, tmp_path):
+        tracer = Tracer(str(tmp_path / "t.jsonl"))
+        tracer.record_span("cell", tracer.epoch + 1.5, 0.25, cell="x")
+        tracer.close()
+        (record,) = load_trace(tmp_path / "t.jsonl")
+        assert record["ts"] == pytest.approx(1.5)
+        assert record["dur"] == pytest.approx(0.25)
+        assert record["labels"] == {"cell": "x"}
+
+    def test_span_buffer_collects_in_memory(self):
+        buffer = SpanBuffer()
+        with buffer.span("work", worker=1):
+            pass
+        assert len(buffer.records) == 1
+        assert buffer.records[0]["name"] == "work"
+        # raw monotonic stamps: the parent rebases them at the yield point
+        assert buffer.epoch == 0.0
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("trials", backend="counts")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value == 3
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+        # same (name, labels) key -> same instrument
+        assert registry.counter("trials", backend="counts") is counter
+
+    def test_gauge_and_histogram(self):
+        registry = MetricsRegistry()
+        registry.gauge("workers").set(4)
+        histogram = registry.histogram("latency")
+        for value in (0.5, 1.5, 1.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.min == 0.5 and histogram.max == 1.5
+        assert histogram.mean == pytest.approx(1.0)
+
+    def test_stopwatch_observes_into_histogram(self):
+        registry = MetricsRegistry()
+        with registry.stopwatch("phase", name_label="draw") as watch:
+            pass
+        assert watch.seconds >= 0.0
+        assert registry.histogram("phase", name_label="draw").count == 1
+
+    def test_snapshot_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b", k=1).set(2)
+        registry.histogram("c").observe(1.0)
+        snapshot = registry.snapshot()
+        assert {row["name"] for row in snapshot["counters"]} == {"a"}
+        assert snapshot["gauges"] == [{"name": "b", "labels": {"k": 1}, "value": 2.0}]
+        assert snapshot["histograms"][0]["count"] == 1
+        registry.reset()
+        assert registry.snapshot() == {"counters": [], "gauges": [], "histograms": []}
+
+    def test_step_breakdown_rows_canonical_order_and_shares(self):
+        rows = step_breakdown_rows({"apply": 3.0, "draw": 1.0, "extra": 0.0})
+        assert [row["phase"] for row in rows] == ["draw", "apply", "extra"]
+        assert rows[0]["share"] == "25%" and rows[1]["share"] == "75%"
+        assert list(STEP_PHASES) == ["draw", "match", "apply", "retire"]
+
+
+class TestBitIdentity:
+    """Tracing (and the instrumented twin loops behind it) never changes
+    results — the observability invariant, per backend."""
+
+    @pytest.mark.parametrize("backend", sorted(backend_names()))
+    def test_instrumented_run_matches_plain(self, backend, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT_PURE_PYTHON", "1")
+        protocol = EpidemicProtocol()
+        n = 64
+        if protocol.num_states() is None and backend != "object":
+            pytest.skip("vectorized backends need a finite-state protocol")
+        if backend == "object":
+            protocol = ElectLeader(ProtocolParams(n=n, r=2))
+            predicate = protocol.is_safe_configuration
+            build = lambda: make_simulation(protocol, n=n, seed=3, backend=backend)
+        else:
+            from repro.sim.counts_backend import goal_counts_predicate
+
+            predicate = goal_counts_predicate(protocol)
+            build = lambda: make_simulation(
+                protocol, init=CountVector([n - 1, 1]), seed=3, backend=backend
+            )
+        plain = build().run_until(predicate, max_interactions=50_000, check_interval=64)
+        instrumented_sim = build()
+        timings = instrumented_sim.instrument_steps()
+        traced = instrumented_sim.run_until(
+            predicate, max_interactions=50_000, check_interval=64
+        )
+        assert traced.interactions == plain.interactions
+        assert traced.converged == plain.converged
+        assert set(timings) == set(STEP_PHASES)
+        assert sum(timings.values()) > 0.0
+
+    @pytest.mark.parametrize("backend", sorted(backend_names()))
+    def test_traced_sweep_checkpoint_is_byte_identical(
+        self, backend, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_JIT_PURE_PYTHON", "1")
+        grid = grid_for(backend)
+        plain_out = tmp_path / "plain.jsonl"
+        run_sweep(grid, jsonl_path=plain_out)
+        configure_tracing(str(tmp_path / "trace.jsonl"))
+        traced_out = tmp_path / "traced.jsonl"
+        run_sweep(grid, jsonl_path=traced_out)
+        configure_tracing(None)
+        assert traced_out.read_bytes() == plain_out.read_bytes()
+        records = load_trace(tmp_path / "trace.jsonl")
+        names = {record["name"] for record in records}
+        assert "sweep.checkpoint_append" in names
+        assert "sweep.cell" in names
+        assert any(name.startswith("step.") for name in names)
+
+    def test_traced_parallel_sweep_matches_serial(self, tmp_path):
+        grid = grid_for("object")
+        serial_out = tmp_path / "serial.jsonl"
+        run_sweep(grid, jsonl_path=serial_out)
+        configure_tracing(str(tmp_path / "trace.jsonl"))
+        parallel_out = tmp_path / "parallel.jsonl"
+        run_sweep(grid, jsonl_path=parallel_out, workers=2)
+        configure_tracing(None)
+        assert parallel_out.read_bytes() == serial_out.read_bytes()
+        records = load_trace(tmp_path / "trace.jsonl")
+        trials = [r for r in records if r["name"] == "sweep.trial"]
+        assert len(trials) == len(grid.ns) * grid.trials
+        # the reorder buffer writes worker spans in deterministic order
+        assert [span["labels"]["item"] for span in trials] == sorted(
+            span["labels"]["item"] for span in trials
+        )
+
+
+class TestPoolLeaseEvents:
+    def test_pool_run_streams_lease_lifecycle(self, tmp_path):
+        grid = GridSpec(
+            protocols=("elect_leader",),
+            ns=(8, 10),
+            rs=(2,),
+            adversaries=(CLEAN,),
+            fault_rates=(0.0,),
+            trials=2,
+            seed=11,
+            max_interactions=500_000,
+            check_interval=500,
+        )
+        sink = tmp_path / "pool.trace.jsonl"
+        configure_tracing(str(sink))
+        run_pool(grid, out=tmp_path / "pool.jsonl", workers=2, backoff=0.0)
+        configure_tracing(None)
+        records = load_trace(sink)
+        lease = [r for r in records if r["name"].startswith("pool.lease.")]
+        kinds = {r["name"] for r in lease}
+        assert "pool.lease.spawn" in kinds
+        assert "pool.lease.complete" in kinds
+        shards = {r["labels"]["shard"] for r in lease}
+        assert shards == {0, 1}
+        timelines = summarize_trace(records)["lease_timelines"]
+        assert sorted(timelines) == ["0", "1"]
+        for timeline in timelines.values():
+            assert timeline[0]["state"] == "spawn"
+            assert timeline[-1]["state"] == "complete"
+
+
+class TestTraceIO:
+    def test_load_trace_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="no such trace file"):
+            load_trace(tmp_path / "absent.jsonl")
+
+    def test_load_trace_corrupt_line(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind":"span","name":"a","ts":0,"dur":1}\n{oops\n')
+        with pytest.raises(TraceError, match="not a JSON trace record"):
+            load_trace(bad)
+
+    def test_load_trace_rejects_non_records_and_empty(self, tmp_path):
+        wrong = tmp_path / "wrong.jsonl"
+        wrong.write_text('[1, 2, 3]\n')
+        with pytest.raises(TraceError, match="not a trace record"):
+            load_trace(wrong)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(TraceError, match="empty trace"):
+            load_trace(empty)
+
+    def test_summary_self_time_subtracts_children(self):
+        records = [
+            {"kind": "span", "name": "inner", "ts": 0.1, "dur": 0.6,
+             "pid": 1, "id": "1:2", "parent": "1:1", "labels": {}},
+            {"kind": "span", "name": "outer", "ts": 0.0, "dur": 1.0,
+             "pid": 1, "id": "1:1", "parent": None, "labels": {}},
+        ]
+        summary = summarize_trace(records)
+        by_name = {row["name"]: row for row in summary["top_spans"]}
+        assert by_name["outer"]["total_s"] == pytest.approx(1.0)
+        assert by_name["outer"]["self_s"] == pytest.approx(0.4)
+        assert by_name["inner"]["self_s"] == pytest.approx(0.6)
+
+    def test_chrome_export_shape(self):
+        records = [
+            {"kind": "span", "name": "s", "ts": 0.5, "dur": 0.25,
+             "pid": 7, "id": "7:1", "parent": None, "labels": {"item": 3}},
+            {"kind": "event", "name": "e", "ts": 0.75, "pid": 7,
+             "parent": "7:1", "labels": {}},
+        ]
+        document = to_chrome_trace(records)
+        span_event, instant = document["traceEvents"]
+        assert span_event["ph"] == "X"
+        assert span_event["ts"] == pytest.approx(0.5e6)
+        assert span_event["dur"] == pytest.approx(0.25e6)
+        assert span_event["pid"] == span_event["tid"] == 7
+        assert span_event["args"] == {"item": 3}
+        assert instant["ph"] == "i" and instant["s"] == "p"
+
+
+class TestTraceCLI:
+    def run_traced_sweep(self, tmp_path) -> str:
+        sink = tmp_path / "sweep.trace.jsonl"
+        code = main(
+            [
+                "sweep", "--protocols", "elect_leader", "--ns", "8",
+                "--trials", "2", "--seed", "5", "--out",
+                str(tmp_path / "sweep.jsonl"), "--no-progress",
+                "--trace", str(sink),
+            ]
+        )
+        assert code == 0
+        return str(sink)
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        code = main(["trace", str(tmp_path / "absent.jsonl")])
+        assert code == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_corrupt_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        code = main(["trace", str(bad)])
+        assert code == 2
+        assert "not a JSON trace record" in capsys.readouterr().err
+
+    def test_text_summary(self, tmp_path, capsys):
+        sink = self.run_traced_sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", sink]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("trace: ")
+        assert "sweep.trial" in out
+        assert "draw" in out  # the step-phase table
+
+    def test_json_summary(self, tmp_path, capsys):
+        sink = self.run_traced_sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", sink, "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["records"] == summary["spans"] + summary["events"]
+        assert summary["spans"] > 0
+        assert {row["name"] for row in summary["top_spans"]} >= {
+            "sweep.trial", "sweep.cell", "sweep.checkpoint_append",
+        }
+
+    def test_chrome_export_round_trips(self, tmp_path, capsys):
+        sink = self.run_traced_sweep(tmp_path)
+        chrome = tmp_path / "chrome.json"
+        assert main(["trace", sink, "--chrome", str(chrome)]) == 0
+        document = json.loads(chrome.read_text())
+        records = load_trace(sink)
+        assert len(document["traceEvents"]) == len(records)
+        assert {e["name"] for e in document["traceEvents"]} == {
+            r["name"] for r in records
+        }
